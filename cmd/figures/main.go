@@ -1,0 +1,97 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated substrate. Each figure is addressed by its paper id:
+//
+//	figures -fig 1            # the primary results table
+//	figures -fig 8 -scale 3000
+//	figures -fig all          # everything (slow)
+//
+// Figure ids: 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, A1, 3.4, 4.6, 5.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"puffer/internal/figures"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	fig := flag.String("fig", "1", "figure/section id to regenerate, or 'all'")
+	scale := flag.Int("scale", figures.DefaultScale, "primary experiment size in sessions")
+	seed := flag.Int64("seed", 1, "suite seed")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	suite, err := figures.NewSuite(*scale, *seed, logf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	run := func(id string) error {
+		switch id {
+		case "1":
+			_, err := suite.Fig1(w)
+			return err
+		case "2":
+			_, err := suite.Fig2(w)
+			return err
+		case "3":
+			_, err := suite.Fig3(w)
+			return err
+		case "4":
+			_, err := suite.Fig4(w)
+			return err
+		case "5":
+			return suite.Fig5(w)
+		case "7":
+			_, err := suite.Fig7(w)
+			return err
+		case "8":
+			_, _, err := suite.Fig8(w)
+			return err
+		case "9":
+			_, err := suite.Fig9(w)
+			return err
+		case "10":
+			_, err := suite.Fig10(w)
+			return err
+		case "11":
+			_, err := suite.Fig11(w)
+			return err
+		case "A1", "a1":
+			_, err := suite.FigA1(w)
+			return err
+		case "3.4":
+			_, err := suite.Sec34(w)
+			return err
+		case "4.6":
+			_, err := suite.Sec46(w)
+			return err
+		case "5.3":
+			_, err := suite.Sec53(w)
+			return err
+		default:
+			return fmt.Errorf("unknown figure id %q", id)
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"1", "2", "3", "4", "5", "7", "8", "9", "10", "11", "A1", "3.4", "4.6", "5.3"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			log.Fatalf("figure %s: %v", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+}

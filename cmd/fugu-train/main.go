@@ -1,0 +1,80 @@
+// Command fugu-train collects in-situ telemetry, trains a Transmission Time
+// Predictor, and writes the model to disk — the offline half of Fugu's
+// daily retraining loop.
+//
+//	fugu-train -sessions 300 -out ttp.model
+//	fugu-train -env emulation -out ttp-emu.model   # the Fig. 11 baseline
+//	fugu-train -warm ttp.model -out ttp2.model     # warm-started retrain
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fugu-train: ")
+	sessions := flag.Int("sessions", 300, "telemetry-collection sessions")
+	seed := flag.Int64("seed", 1, "seed")
+	envName := flag.String("env", "insitu", "training environment: insitu or emulation")
+	out := flag.String("out", "ttp.model", "output model path")
+	warm := flag.String("warm", "", "warm-start from an existing model file")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	day := flag.Int("day", 0, "day stamp for the collected telemetry")
+	flag.Parse()
+
+	var env experiment.Env
+	switch *envName {
+	case "insitu":
+		env = experiment.DefaultEnv()
+	case "emulation":
+		env = experiment.EmulationEnv()
+	default:
+		log.Fatalf("unknown -env %q (want insitu or emulation)", *envName)
+	}
+
+	behavior := []experiment.Scheme{
+		{Name: "BBA", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewBBA(), 0.15, *seed) }},
+		{Name: "MPC-HM", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewMPCHM(), 0.10, *seed+1) }},
+	}
+	log.Printf("collecting %d sessions of telemetry in %s...", *sessions, *envName)
+	data, err := experiment.CollectDataset(env, behavior, *sessions, *seed, *day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collected %d chunks across %d streams", data.NumChunks(), len(data.Streams))
+
+	var ttp *core.TTP
+	if *warm != "" {
+		ttp, err = core.LoadFile(*warm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ttp = ttp.Clone()
+		log.Printf("warm-starting from %s", *warm)
+	} else {
+		ttp = core.NewTTP(rand.New(rand.NewSource(*seed+2)), core.DefaultHorizon, nil,
+			core.DefaultFeatures(), core.KindTransTime)
+	}
+
+	cfg := core.DefaultTrainConfig()
+	cfg.Seed = *seed + 3
+	cfg.Epochs = *epochs
+	res, err := core.Train(ttp, data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for step, loss := range res.Loss {
+		log.Printf("step %d: %d examples, final loss %.3f nats", step, res.Examples[step], loss)
+	}
+	if err := ttp.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -1,0 +1,41 @@
+// Command puffer runs the full randomized controlled trial — the primary
+// experiment of the paper — and prints the Figure 1 table, the Figure 8
+// panels, and the CONSORT flow.
+//
+//	puffer -sessions 2000 -seed 1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"puffer/internal/figures"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("puffer: ")
+	sessions := flag.Int("sessions", figures.DefaultScale, "sessions to randomize across the five schemes")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	suite, err := figures.NewSuite(*sessions, *seed, logf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := suite.Fig1(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := suite.Fig8(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := suite.FigA1(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

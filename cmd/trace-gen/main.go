@@ -1,0 +1,65 @@
+// Command trace-gen synthesizes network capacity traces from the study's
+// three families and writes them as CSV, for use with external tools or for
+// inspection.
+//
+//	trace-gen -family puffer -mean 12e6 -duration 600 -n 5 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"puffer/internal/netem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace-gen: ")
+	family := flag.String("family", "puffer", "trace family: puffer, fcc, or cs2p")
+	mean := flag.Float64("mean", 10e6, "mean capacity, bits/sec")
+	duration := flag.Float64("duration", 600, "trace duration, seconds")
+	n := flag.Int("n", 1, "number of traces")
+	seed := flag.Int64("seed", 1, "seed")
+	dir := flag.String("dir", ".", "output directory")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	gen := func() *netem.Trace {
+		switch *family {
+		case "puffer":
+			return netem.GenPuffer(rng, netem.DefaultPufferTraceConfig(*mean), *duration)
+		case "fcc":
+			return netem.GenFCC(rng, netem.DefaultFCCTraceConfig(*mean), *duration)
+		case "cs2p":
+			return netem.GenCS2P(rng, netem.DefaultCS2PTraceConfig(*mean), *duration)
+		default:
+			log.Fatalf("unknown -family %q (want puffer, fcc, or cs2p)", *family)
+			return nil
+		}
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *n; i++ {
+		tr := gen()
+		name := filepath.Join(*dir, fmt.Sprintf("%s-%02d.csv", *family, i))
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: mean %.2f Mbit/s, min %.2f Mbit/s, %d samples",
+			name, tr.Mean()/1e6, tr.Min()/1e6, len(tr.Rate))
+	}
+}

@@ -1,0 +1,65 @@
+// ABR tournament: every classical scheme (plus the related-work baselines
+// the paper cites: rate-based and BOLA) on the same randomized workload —
+// the style of comparison the paper's §5 tables are built from.
+//
+//	go run ./examples/abr-tournament
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"puffer"
+	"puffer/internal/abr"
+	"puffer/internal/experiment"
+	"puffer/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	schemes := []puffer.Scheme{
+		{Name: "BBA", New: func() puffer.Algorithm { return abr.NewBBA() }},
+		{Name: "MPC-HM", New: func() puffer.Algorithm { return abr.NewMPCHM() }},
+		{Name: "RobustMPC-HM", New: func() puffer.Algorithm { return abr.NewRobustMPCHM() }},
+		{Name: "RateBased", New: func() puffer.Algorithm { return abr.NewRateBased() }},
+		{Name: "BOLA", New: func() puffer.Algorithm { return abr.NewBOLA() }},
+	}
+
+	log.Println("running 600-session tournament over deployment-like paths...")
+	res, err := puffer.RunExperiment(puffer.Config{
+		Env:      puffer.DefaultEnv(),
+		Schemes:  schemes,
+		Sessions: 600,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := puffer.Analyze(res, puffer.AllPaths, 12)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].StallRatio.Point < rows[j].StallRatio.Point })
+	fmt.Printf("%-14s %12s %10s %10s %12s %9s\n",
+		"Scheme", "Stalled", "SSIM", "dSSIM", "Bitrate", "Streams")
+	for _, r := range rows {
+		fmt.Printf("%-14s %11.3f%% %7.2f dB %7.2f dB %9.2f Mbps %8d\n",
+			r.Name, 100*r.StallRatio.Point, r.SSIM.Point, r.SSIMVar, r.MeanBitrate/1e6, r.Considered)
+	}
+
+	// Dump per-stream summaries for offline analysis, in the open-data
+	// style of the paper's appendix.
+	f, err := os.Create("tournament_streams.csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var all []telemetry.StreamSummary
+	for _, m := range experiment.EligibleStreams(res, experiment.AllPaths) {
+		all = append(all, m...)
+	}
+	if err := telemetry.WriteSummariesCSV(f, all); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d stream summaries to tournament_streams.csv", len(all))
+}

@@ -1,0 +1,39 @@
+package abr
+
+import "math/rand"
+
+// Explorer wraps a base algorithm and, with probability Epsilon, substitutes
+// a uniformly random rung. It exists to gather off-policy coverage when
+// bootstrapping the TTP's training data: a predictor trained purely on one
+// scheme's choices never observes what large chunks do to a congested path,
+// and a controller that then asks about them gets fiction back.
+type Explorer struct {
+	Base    Algorithm
+	Epsilon float64
+
+	rng *rand.Rand
+}
+
+// NewExplorer wraps base with epsilon-uniform exploration. The seed fixes
+// the exploration sequence for reproducibility.
+func NewExplorer(base Algorithm, epsilon float64, seed int64) *Explorer {
+	return &Explorer{Base: base, Epsilon: epsilon, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Algorithm.
+func (e *Explorer) Name() string { return e.Base.Name() + "+explore" }
+
+// Reset implements Algorithm.
+func (e *Explorer) Reset() { e.Base.Reset() }
+
+// Choose implements Algorithm.
+func (e *Explorer) Choose(obs *Observation) int {
+	q := e.Base.Choose(obs)
+	if len(obs.Horizon) == 0 {
+		return q
+	}
+	if e.rng.Float64() < e.Epsilon {
+		return e.rng.Intn(len(obs.Horizon[0].Versions))
+	}
+	return q
+}

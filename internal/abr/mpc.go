@@ -1,0 +1,300 @@
+package abr
+
+import (
+	"math"
+
+	"puffer/internal/media"
+)
+
+// Predictor supplies the MPC engine with a probability distribution over the
+// transmission time of a proposed chunk. Deterministic predictors (harmonic
+// mean) return a one-hot distribution; the TTP returns its full softmax.
+type Predictor interface {
+	// PredictDist fills dist (length NumBins) with the probability that
+	// sending a chunk of the given size, `step` positions ahead of the
+	// current decision (step 0 = the chunk being decided), lands in each
+	// transmission-time bin.
+	PredictDist(obs *Observation, step int, size float64, dist []float64)
+}
+
+// MPC is the paper's §4.4 controller: a stochastic model-predictive
+// controller maximizing expected cumulative QoE (Equation 1) over a lookahead
+// horizon by value iteration over a discretized buffer, shared verbatim by
+// MPC-HM, RobustMPC-HM, and Fugu (only the Predictor differs).
+type MPC struct {
+	AlgName string
+	Pred    Predictor
+	Weights QoEWeights
+	Horizon int     // lookahead chunks (paper: 5)
+	BufStep float64 // buffer discretization (seconds per bin)
+
+	// scratch, reused across decisions
+	value   []float64
+	visited []bool
+	dists   []float64 // predicted distributions, indexed (step*nQ+q)*NumBins
+	nBuf    int
+	bufCap  float64
+}
+
+// NewMPC builds the controller with the paper's defaults: horizon 5,
+// 0.25-second buffer bins.
+func NewMPC(name string, pred Predictor, w QoEWeights) *MPC {
+	return &MPC{AlgName: name, Pred: pred, Weights: w, Horizon: 5, BufStep: 0.25}
+}
+
+// Name implements Algorithm.
+func (m *MPC) Name() string { return m.AlgName }
+
+// Reset implements Algorithm.
+func (m *MPC) Reset() {
+	if r, ok := m.Pred.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// Choose implements Algorithm: it plans a trajectory over the horizon and
+// returns the first step's rung.
+func (m *MPC) Choose(obs *Observation) int {
+	h := m.Horizon
+	if h > len(obs.Horizon) {
+		h = len(obs.Horizon)
+	}
+	if h == 0 {
+		return 0
+	}
+	nQ := len(obs.Horizon[0].Versions)
+	m.ensureScratch(obs.BufferCap, h, nQ)
+
+	// Predictions depend only on (step, proposed size), not on the DP
+	// state: compute each of the h*nQ distributions exactly once.
+	for step := 0; step < h; step++ {
+		for q := 0; q < nQ; q++ {
+			m.Pred.PredictDist(obs, step, obs.Horizon[step].Versions[q].Size, m.distFor(step, q, nQ))
+		}
+	}
+
+	// Root step: previous chunk is the actually-sent one (or absent).
+	bestQ, bestV := 0, math.Inf(-1)
+	for q := 0; q < nQ; q++ {
+		enc := obs.Horizon[0].Versions[q]
+		v := 0.0
+		for k, p := range m.distFor(0, q, nQ) {
+			if p == 0 {
+				continue
+			}
+			tt := BinValue(k)
+			stall := math.Max(tt-obs.Buffer, 0)
+			qoe := m.Weights.Chunk(enc.SSIMdB, obs.LastSSIM, stall, obs.LastQuality >= 0)
+			next := m.nextBuffer(obs.Buffer, tt)
+			v += p * (qoe + m.valueAt(obs, 1, h, nQ, next, q))
+		}
+		if v > bestV {
+			bestV, bestQ = v, q
+		}
+	}
+	return bestQ
+}
+
+// distFor returns the cached distribution slice for (step, quality).
+func (m *MPC) distFor(step, q, nQ int) []float64 {
+	at := (step*nQ + q) * NumBins
+	return m.dists[at : at+NumBins]
+}
+
+// ensureScratch sizes the memo tables for this decision's dimensions.
+func (m *MPC) ensureScratch(bufCap float64, h, nQ int) {
+	if bufCap <= 0 {
+		bufCap = 15
+	}
+	m.bufCap = bufCap
+	m.nBuf = int(bufCap/m.BufStep) + 1
+	need := h * m.nBuf * nQ
+	if cap(m.value) < need {
+		m.value = make([]float64, need)
+		m.visited = make([]bool, need)
+	}
+	m.value = m.value[:need]
+	m.visited = m.visited[:need]
+	for i := range m.visited {
+		m.visited[i] = false
+	}
+	if distNeed := h * nQ * NumBins; cap(m.dists) < distNeed {
+		m.dists = make([]float64, distNeed)
+	} else {
+		m.dists = m.dists[:distNeed]
+	}
+}
+
+// nextBuffer applies the buffer dynamics: drain during the transfer, then
+// gain one chunk of playable video, capped at the client's maximum.
+func (m *MPC) nextBuffer(buf, transTime float64) float64 {
+	b := math.Max(buf-transTime, 0) + media.ChunkDuration
+	if b > m.bufCap {
+		b = m.bufCap
+	}
+	return b
+}
+
+func (m *MPC) bufBin(buf float64) int {
+	i := int(buf/m.BufStep + 0.5)
+	if i >= m.nBuf {
+		i = m.nBuf - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// valueAt is the memoized value function v*(step, buffer, prevQuality):
+// the best expected QoE obtainable from horizon step `step` onward, given
+// the buffer level and that the chunk at step-1 was sent at prevQ.
+// Only states reachable from the root are ever computed (the paper's
+// "forward recursion with memoization").
+func (m *MPC) valueAt(obs *Observation, step, h, nQ int, buf float64, prevQ int) float64 {
+	if step >= h {
+		return 0
+	}
+	bb := m.bufBin(buf)
+	idx := (step*m.nBuf+bb)*nQ + prevQ
+	if m.visited[idx] {
+		return m.value[idx]
+	}
+	bufQ := float64(bb) * m.BufStep // quantized buffer for child states
+	prevSSIM := obs.Horizon[step-1].Versions[prevQ].SSIMdB
+
+	best := math.Inf(-1)
+	for q := 0; q < nQ; q++ {
+		enc := obs.Horizon[step].Versions[q]
+		v := 0.0
+		for k, p := range m.distFor(step, q, nQ) {
+			if p == 0 {
+				continue
+			}
+			tt := BinValue(k)
+			stall := math.Max(tt-bufQ, 0)
+			qoe := m.Weights.Chunk(enc.SSIMdB, prevSSIM, stall, true)
+			next := m.nextBuffer(bufQ, tt)
+			v += p * (qoe + m.valueAt(obs, step+1, h, nQ, next, q))
+		}
+		if v > best {
+			best = v
+		}
+	}
+	m.visited[idx] = true
+	m.value[idx] = best
+	return best
+}
+
+// HarmonicMeanPredictor is the paper's "HM" predictor: future throughput is
+// the harmonic mean of the last five throughput samples, giving a
+// deterministic (one-hot) transmission-time distribution of size/throughput.
+// With Robust set it divides the estimate by (1+maxErr), where maxErr is the
+// largest relative error the HM predictor has made on this stream (decayed
+// slowly), the RobustMPC lower-bound rule: one bad surprise keeps the
+// controller humble for a while.
+type HarmonicMeanPredictor struct {
+	Robust bool
+	// Window is the number of samples (paper: 5). Zero means 5.
+	Window int
+	// ErrDecay multiplies the remembered max error per chunk (default
+	// 0.995); only used with Robust.
+	ErrDecay float64
+
+	maxErr   float64
+	lastSeen int
+}
+
+// Reset clears the per-stream error memory (called by the MPC on new
+// streams).
+func (p *HarmonicMeanPredictor) Reset() {
+	p.maxErr = 0
+	p.lastSeen = 0
+}
+
+// coldStartTput is the throughput assumed before any samples exist
+// (bits/s). A conservative default must still scale with chunk size — a
+// fixed "worst case" time would charge every rung the same stall and push
+// the controller to the top rung on the very first chunk.
+const coldStartTput = 1e6
+
+// PredictDist implements Predictor.
+func (p *HarmonicMeanPredictor) PredictDist(obs *Observation, step int, size float64, dist []float64) {
+	tput := p.estimate(obs)
+	for i := range dist {
+		dist[i] = 0
+	}
+	if tput <= 0 {
+		tput = coldStartTput
+	}
+	tt := size * 8 / tput
+	dist[BinIndex(tt)] = 1
+}
+
+// estimate returns the (possibly robust-discounted) throughput estimate in
+// bits/s, or 0 if no history exists.
+func (p *HarmonicMeanPredictor) estimate(obs *Observation) float64 {
+	w := p.Window
+	if w == 0 {
+		w = 5
+	}
+	hm := harmonicMeanTail(obs.History, len(obs.History), w)
+	if hm <= 0 {
+		return 0
+	}
+	if !p.Robust {
+		return hm
+	}
+	decay := p.ErrDecay
+	if decay == 0 {
+		decay = 0.995
+	}
+	// Fold the newest completed chunk into the error memory: the HM
+	// prediction it would have received is the harmonic mean of the
+	// samples preceding it.
+	if n := len(obs.History); n > 0 && obs.ChunkIndex > p.lastSeen {
+		p.maxErr *= decay
+		pred := harmonicMeanTail(obs.History, n-1, w)
+		actual := obs.History[n-1].Throughput()
+		if pred > 0 && actual > 0 {
+			if err := math.Abs(pred-actual) / actual; err > p.maxErr {
+				p.maxErr = err
+			}
+		}
+		p.lastSeen = obs.ChunkIndex
+	}
+	return hm / (1 + p.maxErr)
+}
+
+// harmonicMeanTail computes the harmonic mean of the up-to-w throughput
+// samples ending just before index end (exclusive).
+func harmonicMeanTail(hist []ChunkRecord, end, w int) float64 {
+	start := end - w
+	if start < 0 {
+		start = 0
+	}
+	n := 0
+	sumInv := 0.0
+	for _, r := range hist[start:end] {
+		tp := r.Throughput()
+		if tp <= 0 {
+			continue
+		}
+		sumInv += 1 / tp
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(n) / sumInv
+}
+
+// NewMPCHM returns the paper's MPC-HM scheme.
+func NewMPCHM() *MPC {
+	return NewMPC("MPC-HM", &HarmonicMeanPredictor{}, DefaultQoEWeights())
+}
+
+// NewRobustMPCHM returns the paper's RobustMPC-HM scheme.
+func NewRobustMPCHM() *MPC {
+	return NewMPC("RobustMPC-HM", &HarmonicMeanPredictor{Robust: true}, DefaultQoEWeights())
+}

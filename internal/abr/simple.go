@@ -1,0 +1,152 @@
+package abr
+
+import "math"
+
+// BBA is buffer-based control (Huang et al.), configured as on Puffer: the
+// original paper's reservoir formula scaled to a 15-second maximum buffer,
+// choosing the highest-SSIM version whose actual bitrate fits under the
+// buffer-dependent rate limit ("+SSIM s.t. bitrate < limit").
+type BBA struct {
+	// Reservoir is the lower buffer threshold below which BBA requests
+	// the minimum rate (seconds).
+	Reservoir float64
+	// Cushion is the buffer span over which the rate limit ramps from
+	// minimum to maximum (seconds).
+	Cushion float64
+}
+
+// NewBBA returns BBA with reservoir values consistent with a 15-second
+// maximum buffer, as in the paper's §3.3 (25% reservoir, ramp to 90%).
+func NewBBA() *BBA {
+	return &BBA{Reservoir: 2.5, Cushion: 8.5}
+}
+
+// Name implements Algorithm.
+func (b *BBA) Name() string { return "BBA" }
+
+// Reset implements Algorithm.
+func (b *BBA) Reset() {}
+
+// Choose implements Algorithm.
+func (b *BBA) Choose(obs *Observation) int {
+	chunk := obs.Horizon[0]
+	nQ := len(chunk.Versions)
+	rMin := chunk.Versions[0].Bitrate()
+	rMax := chunk.Versions[nQ-1].Bitrate()
+
+	var limit float64
+	switch {
+	case obs.Buffer <= b.Reservoir:
+		limit = rMin
+	case obs.Buffer >= b.Reservoir+b.Cushion:
+		limit = rMax
+	default:
+		limit = rMin + (rMax-rMin)*(obs.Buffer-b.Reservoir)/b.Cushion
+	}
+
+	best := 0
+	for q := 0; q < nQ; q++ {
+		if chunk.Versions[q].Bitrate() <= limit {
+			// Versions are SSIM-monotone in rung, so the highest
+			// fitting rung maximizes SSIM.
+			best = q
+		}
+	}
+	return best
+}
+
+// RateBased is the classic throughput-matching baseline: an EWMA of observed
+// throughput with a safety factor, picking the top version that fits.
+type RateBased struct {
+	// Safety discounts the estimate (default 0.8).
+	Safety float64
+	// Alpha is the EWMA weight of the newest sample (default 0.4).
+	Alpha float64
+
+	est float64
+}
+
+// NewRateBased returns the baseline with conventional parameters.
+func NewRateBased() *RateBased { return &RateBased{Safety: 0.8, Alpha: 0.4} }
+
+// Name implements Algorithm.
+func (r *RateBased) Name() string { return "RateBased" }
+
+// Reset implements Algorithm.
+func (r *RateBased) Reset() { r.est = 0 }
+
+// Choose implements Algorithm.
+func (r *RateBased) Choose(obs *Observation) int {
+	if n := len(obs.History); n > 0 {
+		s := obs.History[n-1].Throughput()
+		if s > 0 {
+			if r.est == 0 {
+				r.est = s
+			} else {
+				r.est = r.Alpha*s + (1-r.Alpha)*r.est
+			}
+		}
+	}
+	if r.est == 0 {
+		return 0
+	}
+	chunk := obs.Horizon[0]
+	limit := r.Safety * r.est
+	best := 0
+	for q, v := range chunk.Versions {
+		if v.Bitrate() <= limit {
+			best = q
+		}
+	}
+	return best
+}
+
+// BOLA is the Lyapunov-based buffer scheme (Spiteri et al.), adapted to the
+// SSIM utilities used throughout this study. It maximizes
+// (V·(u_q + gp) − B)/S_q, a related-work baseline the paper cites.
+type BOLA struct {
+	// GP is the gamma-p hyperparameter in utility units (dB).
+	GP float64
+	// TargetBuffer is the buffer level (seconds) at which the top rung
+	// becomes optimal on typical content; V is derived from it.
+	TargetBuffer float64
+}
+
+// NewBOLA returns BOLA tuned for the 15-second Puffer buffer.
+func NewBOLA() *BOLA { return &BOLA{GP: 5, TargetBuffer: 13} }
+
+// Name implements Algorithm.
+func (b *BOLA) Name() string { return "BOLA" }
+
+// Reset implements Algorithm.
+func (b *BOLA) Reset() {}
+
+// Choose implements Algorithm.
+func (b *BOLA) Choose(obs *Observation) int {
+	chunk := obs.Horizon[0]
+	nQ := len(chunk.Versions)
+	uMin := chunk.Versions[0].SSIMdB
+	uMax := chunk.Versions[nQ-1].SSIMdB
+	// Calibrate V so the top version's score crosses the others at
+	// TargetBuffer: V·(uMax−uMin+gp) = TargetBuffer.
+	denom := uMax - uMin + b.GP
+	if denom <= 0 {
+		return 0
+	}
+	v := b.TargetBuffer / denom
+	// Above the target buffer every score is negative; a DASH player
+	// would pause downloads there. Puffer's server keeps sending while
+	// the client has room, so saturate at the top rung instead.
+	if obs.Buffer >= b.TargetBuffer {
+		return nQ - 1
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for q := 0; q < nQ; q++ {
+		enc := chunk.Versions[q]
+		score := (v*(enc.SSIMdB-uMin+b.GP) - obs.Buffer) / enc.Size
+		if score > bestScore {
+			best, bestScore = q, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,137 @@
+// Package core implements Fugu, the paper's contribution: a Transmission
+// Time Predictor (TTP) — a small fully-connected neural network that maps
+// (recent chunk sizes and transmission times, sender-side tcp_info
+// statistics, and a proposed chunk size) to a probability distribution over
+// the chunk's transmission time — driving the stochastic MPC controller in
+// the abr package. Training is supervised, on telemetry from the deployment
+// itself ("in situ"), with daily retraining over a sliding window.
+//
+// The package also provides every ablation variant from the paper's
+// Figure 7: a point-estimate TTP, a throughput predictor that ignores the
+// proposed size, a linear model, a TTP without tcp_info inputs, and a
+// short-history TTP.
+package core
+
+import (
+	"math"
+
+	"puffer/internal/abr"
+	"puffer/internal/tcpsim"
+)
+
+// Normalization constants for feature assembly. Inputs are scaled to be
+// roughly order-1 so a single learning rate works across features.
+const (
+	sizeScale  = 1e6   // bytes -> MB
+	timeScale  = 1.0   // seconds
+	cwndScale  = 100.0 // packets
+	rttScale   = 0.1   // seconds -> 100 ms units
+	delivScale = 1e7   // bits/s -> 10 Mbit/s units
+)
+
+// numTCPFeatures counts the tcp_info fields fed to the TTP: cwnd, in-flight,
+// min RTT, smoothed RTT, delivery rate — the fields the paper names.
+const numTCPFeatures = 5
+
+// FeatureConfig selects which inputs a predictor sees. The zero value is
+// not useful; use DefaultFeatures.
+type FeatureConfig struct {
+	// HistLen is how many past chunks to include (paper: t = 8).
+	HistLen int
+	// UseTCPInfo includes the tcp_info snapshot (ablated in Figure 7).
+	UseTCPInfo bool
+	// UseProposedSize includes the candidate chunk's size; disabling it
+	// yields the "throughput predictor" ablation, which predicts a rate
+	// independent of what is being sent.
+	UseProposedSize bool
+}
+
+// DefaultFeatures is the full Fugu input: 8 chunks of history, tcp_info, and
+// the proposed size — 22 inputs.
+func DefaultFeatures() FeatureConfig {
+	return FeatureConfig{HistLen: 8, UseTCPInfo: true, UseProposedSize: true}
+}
+
+// Dim returns the input vector length.
+func (c FeatureConfig) Dim() int {
+	d := 2 * c.HistLen
+	if c.UseTCPInfo {
+		d += numTCPFeatures
+	}
+	if c.UseProposedSize {
+		d++
+	}
+	return d
+}
+
+// Assemble writes the feature vector into dst (length Dim). hist is
+// oldest-first; shorter histories are left-padded with zeros, as at stream
+// start.
+func (c FeatureConfig) Assemble(dst []float64, hist []abr.ChunkRecord, info tcpsim.Info, proposedSize float64) {
+	if len(dst) != c.Dim() {
+		panic("core: feature buffer has wrong length")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	// Past chunk sizes and transmission times, newest in the last slot.
+	n := len(hist)
+	if n > c.HistLen {
+		hist = hist[n-c.HistLen:]
+		n = c.HistLen
+	}
+	off := c.HistLen - n
+	for i, r := range hist {
+		dst[off+i] = clip(r.Size/sizeScale, 0, 1e3)
+		dst[c.HistLen+off+i] = clip(r.TransTime/timeScale, 0, 20)
+	}
+	k := 2 * c.HistLen
+	if c.UseTCPInfo {
+		dst[k+0] = clip(info.CWND/cwndScale, 0, 1e3)
+		dst[k+1] = clip(info.InFlight/cwndScale, 0, 1e3)
+		dst[k+2] = clip(info.MinRTT/rttScale, 0, 1e2)
+		dst[k+3] = clip(info.RTT/rttScale, 0, 1e2)
+		dst[k+4] = clip(info.DeliveryRate/delivScale, 0, 1e3)
+		k += numTCPFeatures
+	}
+	if c.UseProposedSize {
+		dst[k] = clip(proposedSize/sizeScale, 0, 1e3)
+	}
+}
+
+func clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Throughput bins for the "throughput predictor" ablation: 21 log-spaced
+// rates from ~0.15 Mbit/s to ~250 Mbit/s.
+const (
+	tputBinBase  = 0.15e6
+	tputBinRatio = 1.45
+)
+
+// ThroughputBinIndex maps a throughput (bits/s) to its bin.
+func ThroughputBinIndex(tput float64) int {
+	if tput <= tputBinBase {
+		return 0
+	}
+	i := int(math.Log(tput/tputBinBase)/math.Log(tputBinRatio) + 0.5)
+	if i >= abr.NumBins {
+		return abr.NumBins - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// ThroughputBinValue returns the representative rate of a bin (bits/s).
+func ThroughputBinValue(i int) float64 {
+	return tputBinBase * math.Pow(tputBinRatio, float64(i))
+}

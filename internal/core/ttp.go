@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"puffer/internal/abr"
+	"puffer/internal/nn"
+)
+
+// DefaultHorizon is the MPC lookahead (paper: H = 5, about 10 seconds).
+const DefaultHorizon = 5
+
+// DefaultHidden is the TTP's architecture: two hidden layers of 64 neurons
+// (paper §4.5).
+var DefaultHidden = []int{64, 64}
+
+// Kind distinguishes what a predictor's output bins mean.
+type Kind int
+
+const (
+	// KindTransTime is the real TTP: bins over transmission time.
+	KindTransTime Kind = iota
+	// KindThroughput is the ablation that predicts a throughput
+	// distribution and converts to time via size/rate.
+	KindThroughput
+)
+
+// TTP is the Transmission Time Predictor: one network per horizon step
+// (the paper trains H separate nets in parallel; they are functionally
+// equivalent to a single net with a time-step input).
+type TTP struct {
+	Cfg  FeatureConfig
+	Kind Kind
+	Nets []*nn.MLP
+}
+
+// NewTTP builds an untrained TTP with the given hidden-layer sizes (nil
+// means DefaultHidden; an explicit empty slice gives the linear ablation).
+func NewTTP(rng *rand.Rand, horizon int, hidden []int, cfg FeatureConfig, kind Kind) *TTP {
+	if horizon < 1 {
+		panic(fmt.Sprintf("core: horizon %d, must be >= 1", horizon))
+	}
+	if hidden == nil {
+		hidden = DefaultHidden
+	}
+	sizes := append([]int{cfg.Dim()}, hidden...)
+	sizes = append(sizes, abr.NumBins)
+	t := &TTP{Cfg: cfg, Kind: kind, Nets: make([]*nn.MLP, horizon)}
+	for i := range t.Nets {
+		t.Nets[i] = nn.NewMLP(rng, sizes...)
+	}
+	return t
+}
+
+// Horizon returns the number of lookahead steps the TTP covers.
+func (t *TTP) Horizon() int { return len(t.Nets) }
+
+// Clone deep-copies the TTP (used to warm-start daily retraining).
+func (t *TTP) Clone() *TTP {
+	c := &TTP{Cfg: t.Cfg, Kind: t.Kind, Nets: make([]*nn.MLP, len(t.Nets))}
+	for i, n := range t.Nets {
+		c.Nets[i] = n.Clone()
+	}
+	return c
+}
+
+// Label returns the training label (output bin) for an observed chunk with
+// the given size (bytes) and transmission time (seconds).
+func (t *TTP) Label(size, transTime float64) int {
+	if t.Kind == KindThroughput {
+		if transTime <= 0 {
+			return abr.NumBins - 1
+		}
+		return ThroughputBinIndex(size * 8 / transTime)
+	}
+	return abr.BinIndex(transTime)
+}
+
+// ttpModel is the gob wire format.
+type ttpModel struct {
+	Cfg  FeatureConfig
+	Kind Kind
+	Nets []*nn.MLP
+}
+
+// Save writes the TTP in gob format.
+func (t *TTP) Save(w io.Writer) error {
+	m := ttpModel{Cfg: t.Cfg, Kind: t.Kind, Nets: t.Nets}
+	if err := gob.NewEncoder(w).Encode(&m); err != nil {
+		return fmt.Errorf("core: encoding TTP: %w", err)
+	}
+	return nil
+}
+
+// Load reads a TTP written by Save.
+func Load(r io.Reader) (*TTP, error) {
+	var m ttpModel
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decoding TTP: %w", err)
+	}
+	if len(m.Nets) == 0 {
+		return nil, fmt.Errorf("core: TTP model has no networks")
+	}
+	for i, net := range m.Nets {
+		if net.InputSize() != m.Cfg.Dim() {
+			return nil, fmt.Errorf("core: net %d input %d does not match feature dim %d", i, net.InputSize(), m.Cfg.Dim())
+		}
+		if net.OutputSize() != abr.NumBins {
+			return nil, fmt.Errorf("core: net %d output %d, want %d bins", i, net.OutputSize(), abr.NumBins)
+		}
+	}
+	return &TTP{Cfg: m.Cfg, Kind: m.Kind, Nets: m.Nets}, nil
+}
+
+// SaveFile writes the TTP to a file.
+func (t *TTP) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := t.Save(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("core: writing TTP file: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a TTP from a file.
+func LoadFile(path string) (*TTP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening TTP file: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Mode selects how the MPC consumes the TTP's output.
+type Mode int
+
+const (
+	// ModeProbabilistic uses the full distribution (Fugu).
+	ModeProbabilistic Mode = iota
+	// ModePointEstimate collapses the distribution to its argmax bin —
+	// the "Point Estimate" / maximum-likelihood ablation.
+	ModePointEstimate
+)
+
+// Predictor adapts a TTP to the abr.Predictor interface consumed by the MPC
+// engine. Not safe for concurrent use; create one per stream.
+type Predictor struct {
+	TTP  *TTP
+	Mode Mode
+
+	ws    []*nn.Workspace
+	feat  []float64
+	probs []float64
+}
+
+// NewPredictor wraps a trained TTP.
+func NewPredictor(t *TTP, mode Mode) *Predictor {
+	p := &Predictor{TTP: t, Mode: mode}
+	p.ws = make([]*nn.Workspace, len(t.Nets))
+	for i, net := range t.Nets {
+		p.ws[i] = net.NewWorkspace()
+	}
+	p.feat = make([]float64, t.Cfg.Dim())
+	p.probs = make([]float64, abr.NumBins)
+	return p
+}
+
+// PredictDist implements abr.Predictor.
+func (p *Predictor) PredictDist(obs *abr.Observation, step int, size float64, dist []float64) {
+	if step >= len(p.TTP.Nets) {
+		step = len(p.TTP.Nets) - 1
+	}
+	p.TTP.Cfg.Assemble(p.feat, obs.History, obs.TCP, size)
+	net := p.TTP.Nets[step]
+	net.PredictDist(p.ws[step], p.feat, p.probs)
+
+	switch p.TTP.Kind {
+	case KindThroughput:
+		// Convert the throughput distribution to a transmission-time
+		// distribution for this size: T = 8·size/rate.
+		for i := range dist {
+			dist[i] = 0
+		}
+		for i, pr := range p.probs {
+			if pr == 0 {
+				continue
+			}
+			tt := size * 8 / ThroughputBinValue(i)
+			dist[abr.BinIndex(tt)] += pr
+		}
+	default:
+		copy(dist, p.probs)
+	}
+
+	if p.Mode == ModePointEstimate {
+		best := nn.ArgMax(dist)
+		for i := range dist {
+			dist[i] = 0
+		}
+		dist[best] = 1
+	}
+}
+
+// PredictFeatures runs the TTP directly on an assembled feature vector,
+// returning the output distribution. Used by evaluation code.
+func (p *Predictor) PredictFeatures(step int, features []float64, dist []float64) {
+	if step >= len(p.TTP.Nets) {
+		step = len(p.TTP.Nets) - 1
+	}
+	p.TTP.Nets[step].PredictDist(p.ws[step], features, dist)
+}
+
+// NewFugu builds the deployed Fugu scheme: stochastic MPC over the TTP's
+// full probability distributions.
+func NewFugu(t *TTP) *abr.MPC {
+	return abr.NewMPC("Fugu", NewPredictor(t, ModeProbabilistic), abr.DefaultQoEWeights())
+}
+
+// NewFuguNamed is NewFugu with a custom results-table name (used for
+// emulation-trained and stale-model variants).
+func NewFuguNamed(name string, t *TTP) *abr.MPC {
+	return abr.NewMPC(name, NewPredictor(t, ModeProbabilistic), abr.DefaultQoEWeights())
+}
+
+// NewFuguPointEstimate builds the Figure 7 "Point Estimate" ablation, which
+// the paper also deployed (its rebuffering was 3-9x worse).
+func NewFuguPointEstimate(t *TTP) *abr.MPC {
+	return abr.NewMPC("Fugu-PointEstimate", NewPredictor(t, ModePointEstimate), abr.DefaultQoEWeights())
+}

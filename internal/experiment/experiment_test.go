@@ -1,0 +1,347 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+)
+
+func bbaScheme() Scheme {
+	return Scheme{Name: "BBA", New: func() abr.Algorithm { return abr.NewBBA() }}
+}
+
+func mpcScheme() Scheme {
+	return Scheme{Name: "MPC-HM", New: func() abr.Algorithm { return abr.NewMPCHM() }}
+}
+
+func TestRunSessionProducesStreams(t *testing.T) {
+	env := DefaultEnv()
+	rng := rand.New(rand.NewSource(1))
+	res := RunSession(&env, abr.NewBBA(), rng, 7, "BBA", 0, nil)
+	if res.SessionID != 7 || res.Scheme != "BBA" {
+		t.Fatalf("identity wrong: %+v", res)
+	}
+	if len(res.Streams) == 0 {
+		t.Fatal("session produced no streams")
+	}
+	if res.Duration <= 0 {
+		t.Fatal("session duration not positive")
+	}
+	for _, s := range res.Streams {
+		if s.PlayTime < 0 || s.StallTime < 0 || s.StartupDelay < 0 {
+			t.Fatalf("negative times: %+v", s)
+		}
+	}
+}
+
+func TestRunSessionDeterministic(t *testing.T) {
+	env := DefaultEnv()
+	a := RunSession(&env, abr.NewBBA(), rand.New(rand.NewSource(3)), 1, "BBA", 0, nil)
+	env2 := DefaultEnv()
+	b := RunSession(&env2, abr.NewBBA(), rand.New(rand.NewSource(3)), 1, "BBA", 0, nil)
+	if len(a.Streams) != len(b.Streams) || a.Duration != b.Duration {
+		t.Fatalf("same-seed sessions differ: %d/%f vs %d/%f",
+			len(a.Streams), a.Duration, len(b.Streams), b.Duration)
+	}
+	for i := range a.Streams {
+		if a.Streams[i].PlayTime != b.Streams[i].PlayTime || a.Streams[i].SSIMMean != b.Streams[i].SSIMMean {
+			t.Fatalf("stream %d differs", i)
+		}
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme(), mpcScheme()},
+		Sessions: 30, Seed: 42,
+	}
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Sessions {
+		a, b := serial.Sessions[i], parallel.Sessions[i]
+		if a.Scheme != b.Scheme || a.Duration != b.Duration || len(a.Streams) != len(b.Streams) {
+			t.Fatalf("session %d differs between 1 and 8 workers: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{Env: DefaultEnv(), Sessions: 5}); err == nil {
+		t.Fatal("expected error for no schemes")
+	}
+	if _, err := Run(Config{Env: DefaultEnv(), Schemes: []Scheme{bbaScheme()}, Sessions: 0}); err == nil {
+		t.Fatal("expected error for zero sessions")
+	}
+}
+
+func TestRandomizationRoughlyBalanced(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme(), mpcScheme()},
+		Sessions: 200, Seed: 7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range res.Sessions {
+		counts[s.Scheme]++
+	}
+	for name, n := range counts {
+		if n < 60 || n > 140 {
+			t.Fatalf("scheme %s got %d of 200 sessions — randomization skewed", name, n)
+		}
+	}
+}
+
+func TestAnalyzeProducesSaneStats(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme()},
+		Sessions: 120, Seed: 11,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(res, AllPaths, 1)
+	if len(st) != 1 {
+		t.Fatalf("got %d scheme rows", len(st))
+	}
+	s := st[0]
+	if s.Considered == 0 {
+		t.Fatal("no streams considered")
+	}
+	if s.Considered+s.NeverPlayed+s.ShortWatch+s.BadDecoder != s.Streams {
+		t.Fatalf("CONSORT accounting does not add up: %+v", s)
+	}
+	if s.SSIM.Point < 8 || s.SSIM.Point > 18 {
+		t.Fatalf("mean SSIM %v outside plausible dB range", s.SSIM.Point)
+	}
+	if s.StallRatio.Point < 0 || s.StallRatio.Point > 0.2 {
+		t.Fatalf("stall ratio %v implausible", s.StallRatio.Point)
+	}
+	if s.StallRatio.Lo > s.StallRatio.Point || s.StallRatio.Hi < s.StallRatio.Point {
+		t.Fatal("stall CI does not bracket point")
+	}
+	if s.MeanDuration.Point <= 0 {
+		t.Fatal("mean session duration not positive")
+	}
+	if s.MeanBitrate <= 0 {
+		t.Fatal("mean bitrate not positive")
+	}
+}
+
+func TestSlowPathFilterSelectsSlowStreams(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme()},
+		Sessions: 150, Seed: 13,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := EligibleStreams(res, AllPaths)["BBA"]
+	slow := EligibleStreams(res, SlowPaths)["BBA"]
+	if len(slow) == 0 {
+		t.Fatal("no slow-path streams sampled")
+	}
+	if len(slow) >= len(all) {
+		t.Fatal("slow filter did not reduce the set")
+	}
+	for _, s := range slow {
+		if !s.SlowPath() {
+			t.Fatalf("non-slow stream passed the filter: %v", s.PathMeanRate)
+		}
+	}
+	// Slow paths should have lower SSIM and more stalling, as in Fig. 8.
+	stAll := Analyze(res, AllPaths, 1)[0]
+	stSlow := Analyze(res, SlowPaths, 1)[0]
+	if stSlow.SSIM.Point >= stAll.SSIM.Point {
+		t.Fatalf("slow-path SSIM %v not below overall %v", stSlow.SSIM.Point, stAll.SSIM.Point)
+	}
+}
+
+func TestConsortAccounting(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme(), mpcScheme()},
+		Sessions: 100, Seed: 17,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := Consort(res)
+	if len(arms) != 2 {
+		t.Fatalf("got %d arms", len(arms))
+	}
+	totalSessions := 0
+	for _, a := range arms {
+		totalSessions += a.Sessions
+		if a.Streams < a.Sessions {
+			t.Fatalf("%s: fewer streams than sessions", a.Scheme)
+		}
+		if a.Considered+a.NeverPlayed+a.ShortWatch+a.BadDecoder != a.Streams {
+			t.Fatalf("%s: exclusions do not add up", a.Scheme)
+		}
+		// Channel zapping must generate a meaningful excluded fraction,
+		// as in Figure A1 where ~60% of streams are excluded.
+		if a.NeverPlayed+a.ShortWatch == 0 {
+			t.Fatalf("%s: no browse-phase exclusions at all", a.Scheme)
+		}
+	}
+	if totalSessions != 100 {
+		t.Fatalf("sessions across arms = %d, want 100", totalSessions)
+	}
+}
+
+func TestSessionDurations(t *testing.T) {
+	cfg := Config{Env: DefaultEnv(), Schemes: []Scheme{bbaScheme()}, Sessions: 40, Seed: 19}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durs := SessionDurations(res)["BBA"]
+	if len(durs) != 40 {
+		t.Fatalf("got %d durations", len(durs))
+	}
+	for _, d := range durs {
+		if d <= 0 || math.IsNaN(d) {
+			t.Fatalf("bad duration %v", d)
+		}
+	}
+}
+
+func TestCollectDataset(t *testing.T) {
+	env := DefaultEnv()
+	data, err := CollectDataset(env, []Scheme{bbaScheme()}, 40, 23, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.NumChunks() == 0 {
+		t.Fatal("no chunks collected")
+	}
+	if data.MaxDay() != 3 {
+		t.Fatalf("day stamp = %d, want 3", data.MaxDay())
+	}
+	for _, s := range data.Streams {
+		for _, c := range s.Chunks {
+			if c.Size <= 0 || c.TransTime <= 0 {
+				t.Fatalf("invalid chunk obs: %+v", c)
+			}
+			if c.Info.DeliveryRate <= 0 {
+				t.Fatal("missing tcp_info in collected telemetry")
+			}
+		}
+	}
+	// Deterministic collection.
+	data2, err := CollectDataset(env, []Scheme{bbaScheme()}, 40, 23, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data2.NumChunks() != data.NumChunks() {
+		t.Fatalf("collection not deterministic: %d vs %d chunks", data2.NumChunks(), data.NumChunks())
+	}
+}
+
+func TestFuguEndToEnd(t *testing.T) {
+	// Integration: collect data with BBA, train a small TTP, run Fugu.
+	if testing.Short() {
+		t.Skip("end-to-end training skipped in -short")
+	}
+	env := DefaultEnv()
+	data, err := CollectDataset(env, []Scheme{bbaScheme()}, 60, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttp := core.NewTTP(rand.New(rand.NewSource(31)), 3, []int{24, 24}, core.DefaultFeatures(), core.KindTransTime)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 4
+	if _, err := core.Train(ttp, data, tc); err != nil {
+		t.Fatal(err)
+	}
+	fugu := Scheme{Name: "Fugu", New: func() abr.Algorithm { return core.NewFugu(ttp) }}
+	res, err := Run(Config{Env: env, Schemes: []Scheme{fugu}, Sessions: 30, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(res, AllPaths, 1)
+	if st[0].Considered == 0 {
+		t.Fatal("Fugu produced no considered streams")
+	}
+	if st[0].SSIM.Point < 8 {
+		t.Fatalf("Fugu mean SSIM %v implausibly low", st[0].SSIM.Point)
+	}
+}
+
+func TestEmulationEnvUsesClipAndFCC(t *testing.T) {
+	env := EmulationEnv()
+	if env.Clip == nil {
+		t.Fatal("emulation env should replay a clip")
+	}
+	if env.Paths.Name() != "fcc" {
+		t.Fatalf("emulation paths = %s, want fcc", env.Paths.Name())
+	}
+	rng := rand.New(rand.NewSource(41))
+	res := RunSession(&env, abr.NewBBA(), rng, 0, "BBA", 0, nil)
+	if len(res.Streams) == 0 {
+		t.Fatal("no streams in emulation")
+	}
+}
+
+func TestOutcomeEndsSession(t *testing.T) {
+	if OutcomeFinished.endsSession() || OutcomeNeverPlayed.endsSession() {
+		t.Fatal("finishing/zapping should not end the session")
+	}
+	if !OutcomeAbandonedStall.endsSession() || !OutcomeDrifted.endsSession() {
+		t.Fatal("abandonment must end the session")
+	}
+}
+
+func TestDatasetCollectorMerge(t *testing.T) {
+	a := NewDatasetCollector()
+	a.RecordChunk(0, 1, core.ChunkObs{Size: 1, TransTime: 1})
+	b := &core.Dataset{Streams: []core.StreamObs{{Chunks: []core.ChunkObs{{Size: 2, TransTime: 2}}}}}
+	a.Merge(b, 100)
+	d := a.Dataset()
+	if len(d.Streams) != 2 {
+		t.Fatalf("merged dataset has %d streams, want 2", len(d.Streams))
+	}
+}
+
+func TestMixSpreadsSeeds(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		v := mix(1, i)
+		if seen[v] {
+			t.Fatalf("mix collision at %d", i)
+		}
+		seen[v] = true
+		if v < 0 {
+			t.Fatal("mix produced negative seed")
+		}
+	}
+}
+
+func TestStartupDelayPlausible(t *testing.T) {
+	// Figure 9: startup delays are around half a second.
+	cfg := Config{Env: DefaultEnv(), Schemes: []Scheme{bbaScheme()}, Sessions: 80, Seed: 43}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(res, AllPaths, 1)[0]
+	if st.MeanStartup.Point < 0.05 || st.MeanStartup.Point > 5 {
+		t.Fatalf("mean startup %v s implausible", st.MeanStartup.Point)
+	}
+}

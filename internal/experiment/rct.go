@@ -1,0 +1,282 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"puffer/internal/abr"
+	"puffer/internal/stats"
+	"puffer/internal/telemetry"
+)
+
+// Scheme pairs a name with a factory producing fresh per-session algorithm
+// instances (algorithms are stateful and not concurrency-safe).
+type Scheme struct {
+	Name string
+	New  func() abr.Algorithm
+}
+
+// Config describes one randomized controlled trial.
+type Config struct {
+	Env     Env
+	Schemes []Scheme
+	// Sessions is the total number of sessions randomized across schemes.
+	Sessions int
+	Seed     int64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Day stamps collected telemetry (for training windows).
+	Day int
+	// Recorder, if set, observes every sent chunk. Must be safe for
+	// concurrent use.
+	Recorder Recorder
+}
+
+// Result holds every session of a trial.
+type Result struct {
+	Sessions []SessionResult
+}
+
+// Run executes the trial: sessions are assigned to schemes by blinded
+// randomization (the first draw of each session's own deterministic RNG),
+// and simulated in parallel. Results are deterministic for a given Config
+// regardless of scheduling.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Schemes) == 0 {
+		return nil, fmt.Errorf("experiment: no schemes configured")
+	}
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("experiment: Sessions = %d, must be positive", cfg.Sessions)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Sessions {
+		workers = cfg.Sessions
+	}
+
+	results := make([]SessionResult, cfg.Sessions)
+	var wg sync.WaitGroup
+	ids := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				rng := rand.New(rand.NewSource(mix(cfg.Seed, int64(id))))
+				arm := rng.Intn(len(cfg.Schemes))
+				scheme := cfg.Schemes[arm]
+				alg := scheme.New()
+				env := cfg.Env
+				results[id] = RunSession(&env, alg, rng, id, scheme.Name, cfg.Day, cfg.Recorder)
+			}
+		}()
+	}
+	for id := 0; id < cfg.Sessions; id++ {
+		ids <- id
+	}
+	close(ids)
+	wg.Wait()
+	return &Result{Sessions: results}, nil
+}
+
+// mix hashes (seed, id) into an independent RNG seed (splitmix64 finalizer).
+func mix(seed, id int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// SchemeStats is one row of the paper's Figure 1 / Figure 8 analysis.
+type SchemeStats struct {
+	Name string
+
+	Sessions    int
+	Streams     int
+	NeverPlayed int
+	ShortWatch  int
+	BadDecoder  int
+	Considered  int
+
+	WatchYears float64
+
+	// StallRatio is total-stall/total-watch with a bootstrap 95% CI.
+	StallRatio stats.Interval
+	// SSIM is the duration-weighted mean SSIM (dB) with its 95% CI.
+	SSIM stats.Interval
+	// SSIMVar is the mean within-stream chunk-to-chunk |dSSIM| (dB).
+	SSIMVar float64
+	// MeanBitrate is the mean delivered video bitrate (bits/s).
+	MeanBitrate float64
+	// MeanStartup and MeanFirstSSIM summarize cold start (Figure 9).
+	MeanStartup   stats.Interval
+	MeanFirstSSIM stats.Interval
+	// MeanDuration is the mean session time-on-site in seconds with CI
+	// (Figure 10).
+	MeanDuration stats.Interval
+}
+
+// AnalysisFilter selects which eligible streams enter the analysis.
+type AnalysisFilter int
+
+const (
+	// AllPaths includes every eligible stream.
+	AllPaths AnalysisFilter = iota
+	// SlowPaths keeps streams on paths with mean delivery rate under
+	// 6 Mbit/s, the Figure 8 right-hand panel.
+	SlowPaths
+)
+
+// Analyze computes per-scheme statistics from a trial result. Bootstrap
+// uses the given seed so analyses are reproducible.
+func Analyze(res *Result, filter AnalysisFilter, seed int64) []SchemeStats {
+	bySch := map[string]*SchemeStats{}
+	order := []string{}
+	get := func(name string) *SchemeStats {
+		if s, ok := bySch[name]; ok {
+			return s
+		}
+		s := &SchemeStats{Name: name}
+		bySch[name] = s
+		order = append(order, name)
+		return s
+	}
+
+	type acc struct {
+		points     []stats.StreamPoint
+		ssims      []float64
+		ssimW      []float64
+		varSum     float64
+		varN       int
+		brSum      float64
+		brN        int
+		startups   []float64
+		firstSSIMs []float64
+		durations  []float64
+	}
+	accs := map[string]*acc{}
+
+	for _, sess := range res.Sessions {
+		st := get(sess.Scheme)
+		st.Sessions++
+		a := accs[sess.Scheme]
+		if a == nil {
+			a = &acc{}
+			accs[sess.Scheme] = a
+		}
+		a.durations = append(a.durations, sess.Duration)
+		for _, s := range sess.Streams {
+			st.Streams++
+			switch {
+			case s.BadDecoder:
+				st.BadDecoder++
+				continue
+			case s.NeverPlayed:
+				st.NeverPlayed++
+				continue
+			case s.WatchTime() < 4:
+				st.ShortWatch++
+				continue
+			}
+			if filter == SlowPaths && !s.SlowPath() {
+				continue
+			}
+			st.Considered++
+			st.WatchYears += s.WatchTime() / (365.25 * 24 * 3600)
+			a.points = append(a.points, stats.StreamPoint{Watch: s.WatchTime(), Stall: s.StallTime})
+			a.ssims = append(a.ssims, s.SSIMMean)
+			a.ssimW = append(a.ssimW, s.WatchTime())
+			if s.Chunks > 1 {
+				a.varSum += s.SSIMVar
+				a.varN++
+			}
+			if s.MeanBitrate > 0 {
+				a.brSum += s.MeanBitrate
+				a.brN++
+			}
+			a.startups = append(a.startups, s.StartupDelay)
+			a.firstSSIMs = append(a.firstSSIMs, s.FirstChunkSSIM)
+		}
+	}
+
+	sort.Strings(order)
+	out := make([]SchemeStats, 0, len(order))
+	for _, name := range order {
+		st := bySch[name]
+		a := accs[name]
+		rng := rand.New(rand.NewSource(mix(seed, int64(len(name)))))
+		st.StallRatio = stats.BootstrapStallRatio(rng, a.points, 400, 0.95)
+		st.SSIM = stats.WeightedMeanSE(a.ssims, a.ssimW, 0.95)
+		if a.varN > 0 {
+			st.SSIMVar = a.varSum / float64(a.varN)
+		}
+		if a.brN > 0 {
+			st.MeanBitrate = a.brSum / float64(a.brN)
+		}
+		st.MeanStartup = stats.MeanSE(a.startups, 0.95)
+		st.MeanFirstSSIM = stats.MeanSE(a.firstSSIMs, 0.95)
+		st.MeanDuration = stats.MeanSE(a.durations, 0.95)
+		out = append(out, *st)
+	}
+	return out
+}
+
+// SessionDurations returns per-scheme session durations (seconds) for CCDF
+// plots (Figure 10).
+func SessionDurations(res *Result) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, s := range res.Sessions {
+		out[s.Scheme] = append(out[s.Scheme], s.Duration)
+	}
+	return out
+}
+
+// EligibleStreams returns the considered streams per scheme.
+func EligibleStreams(res *Result, filter AnalysisFilter) map[string][]telemetry.StreamSummary {
+	out := map[string][]telemetry.StreamSummary{}
+	for _, sess := range res.Sessions {
+		for _, s := range sess.Streams {
+			if !s.Eligible() {
+				continue
+			}
+			if filter == SlowPaths && !s.SlowPath() {
+				continue
+			}
+			out[sess.Scheme] = append(out[sess.Scheme], s)
+		}
+	}
+	return out
+}
+
+// ConsortArm is one column of the Figure A1 CONSORT flow diagram.
+type ConsortArm struct {
+	Scheme      string
+	Sessions    int
+	Streams     int
+	NeverPlayed int
+	ShortWatch  int
+	BadDecoder  int
+	Considered  int
+	WatchYears  float64
+}
+
+// Consort summarizes the experimental flow per arm.
+func Consort(res *Result) []ConsortArm {
+	st := Analyze(res, AllPaths, 0)
+	out := make([]ConsortArm, len(st))
+	for i, s := range st {
+		out[i] = ConsortArm{
+			Scheme: s.Name, Sessions: s.Sessions, Streams: s.Streams,
+			NeverPlayed: s.NeverPlayed, ShortWatch: s.ShortWatch,
+			BadDecoder: s.BadDecoder, Considered: s.Considered,
+			WatchYears: s.WatchYears,
+		}
+	}
+	return out
+}

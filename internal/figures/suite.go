@@ -1,0 +1,179 @@
+// Package figures regenerates every table and figure in the paper's
+// evaluation: each FigN/SecNN method runs the corresponding experiment on
+// the simulated substrate and writes the same rows/series the paper reports.
+// Absolute numbers differ (the substrate is a simulator, not the authors'
+// deployment); the shapes — who wins, by roughly what factor, where the
+// crossovers fall — are the reproduction targets, recorded in EXPERIMENTS.md.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+	"puffer/internal/pensieve"
+)
+
+// Suite holds the trained models and cached experiment results shared by
+// the figures. Building a Suite performs data collection and training
+// (roughly a minute at default scale); individual figures then run their
+// experiments on demand and cache what they share.
+type Suite struct {
+	// Scale is the number of sessions in the primary experiment; other
+	// experiments scale proportionally.
+	Scale int
+	// Seed makes the whole suite deterministic.
+	Seed int64
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+
+	InSituTTP *core.TTP
+	EmuTTP    *core.TTP
+	Policy    *pensieve.Agent
+
+	primary   *experiment.Result
+	emulation *experiment.Result
+	insituDat *core.Dataset
+}
+
+// DefaultScale is the default primary-experiment size in sessions.
+const DefaultScale = 1500
+
+// NewSuite collects telemetry, trains the in-situ TTP, the emulation-trained
+// TTP, and the Pensieve policy, and returns a ready Suite.
+func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Suite{Scale: scale, Seed: seed, Logf: logf}
+
+	collectSessions := scale / 3
+	if collectSessions < 150 {
+		collectSessions = 150
+	}
+
+	logf("training in-situ TTP (two rounds, %d sessions each)...", collectSessions)
+	insituTTP, insituData, err := trainTTPInEnv(experiment.DefaultEnv(), collectSessions, seed+1, logf)
+	if err != nil {
+		return nil, fmt.Errorf("figures: in-situ TTP: %w", err)
+	}
+	s.InSituTTP = insituTTP
+	s.insituDat = insituData
+
+	logf("training emulation TTP (two rounds, %d sessions each)...", collectSessions)
+	emuTTP, _, err := trainTTPInEnv(experiment.EmulationEnv(), collectSessions, seed+3, logf)
+	if err != nil {
+		return nil, fmt.Errorf("figures: emulation TTP: %w", err)
+	}
+	s.EmuTTP = emuTTP
+
+	logf("training Pensieve in emulation (policy gradient)...")
+	pcfg := pensieve.DefaultTrainConfig()
+	pcfg.Seed = seed + 5
+	agent, pres := pensieve.Train(pcfg)
+	s.Policy = agent
+	logf("  final mean reward %.2f per chunk", pres.MeanReward)
+
+	return s, nil
+}
+
+// behaviorSchemes is the bootstrap data-collection mixture: the classical
+// schemes Puffer ran from day one, with light exploration for off-policy
+// coverage of the (state, chunk size) space.
+func behaviorSchemes(seed int64) []experiment.Scheme {
+	return []experiment.Scheme{
+		{Name: "BBA", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewBBA(), 0.15, seed) }},
+		{Name: "MPC-HM", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewMPCHM(), 0.10, seed+1) }},
+		{Name: "RobustMPC-HM", New: func() abr.Algorithm { return abr.NewRobustMPCHM() }},
+	}
+}
+
+// trainTTPInEnv reproduces the in-situ training loop in a given environment:
+// bootstrap telemetry from the classical schemes, train a first TTP, deploy
+// that Fugu to gather telemetry from its own decisions (as the live
+// deployment does continuously), and retrain on the union.
+func trainTTPInEnv(env experiment.Env, sessions int, seed int64, logf func(string, ...any)) (*core.TTP, *core.Dataset, error) {
+	round1, err := experiment.CollectDataset(env, behaviorSchemes(seed), sessions, seed, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("round-1 collection: %w", err)
+	}
+	logf("  round 1: %d chunks", round1.NumChunks())
+	ttp0 := core.NewTTP(rand.New(rand.NewSource(seed)), core.DefaultHorizon, nil, core.DefaultFeatures(), core.KindTransTime)
+	if _, err := core.Train(ttp0, round1, trainCfg(seed)); err != nil {
+		return nil, nil, fmt.Errorf("round-1 training: %w", err)
+	}
+
+	fuguMix := []experiment.Scheme{
+		{Name: "Fugu", New: func() abr.Algorithm { return abr.NewExplorer(core.NewFugu(ttp0), 0.05, seed+2) }},
+		{Name: "BBA", New: func() abr.Algorithm { return abr.NewBBA() }},
+	}
+	round2, err := experiment.CollectDataset(env, fuguMix, sessions, seed+1, 1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("round-2 collection: %w", err)
+	}
+	logf("  round 2 (Fugu in the mix): %d chunks", round2.NumChunks())
+
+	merged := &core.Dataset{Streams: append(append([]core.StreamObs{}, round1.Streams...), round2.Streams...)}
+	ttp := core.NewTTP(rand.New(rand.NewSource(seed+3)), core.DefaultHorizon, nil, core.DefaultFeatures(), core.KindTransTime)
+	cfg := trainCfg(seed + 3)
+	cfg.RecencyBase = 1 // both rounds weighted equally when bootstrapping
+	if _, err := core.Train(ttp, merged, cfg); err != nil {
+		return nil, nil, fmt.Errorf("round-2 training: %w", err)
+	}
+	return ttp, merged, nil
+}
+
+func trainCfg(seed int64) core.TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	cfg.Seed = seed
+	cfg.Epochs = 12
+	return cfg
+}
+
+// PrimarySchemes returns the five arms of the paper's primary experiment.
+// Factories build fresh per-session instances; the trained models themselves
+// are shared and read-only at inference.
+func (s *Suite) PrimarySchemes() []experiment.Scheme {
+	policy := s.Policy.Policy()
+	return []experiment.Scheme{
+		{Name: "Fugu", New: func() abr.Algorithm { return core.NewFugu(s.InSituTTP) }},
+		{Name: "MPC-HM", New: func() abr.Algorithm { return abr.NewMPCHM() }},
+		{Name: "RobustMPC-HM", New: func() abr.Algorithm { return abr.NewRobustMPCHM() }},
+		{Name: "Pensieve", New: func() abr.Algorithm { return pensieve.NewAgent(policy) }},
+		{Name: "BBA", New: func() abr.Algorithm { return abr.NewBBA() }},
+	}
+}
+
+// Primary runs (once) and returns the primary randomized experiment.
+func (s *Suite) Primary() (*experiment.Result, error) {
+	if s.primary != nil {
+		return s.primary, nil
+	}
+	s.Logf("running primary experiment (%d sessions, 5 schemes)...", s.Scale)
+	res, err := experiment.Run(experiment.Config{
+		Env:      experiment.DefaultEnv(),
+		Schemes:  s.PrimarySchemes(),
+		Sessions: s.Scale,
+		Seed:     s.Seed + 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.primary = res
+	return res, nil
+}
+
+// line prints a formatted row to w, propagating the first write error via
+// the returned function pattern used across the figure writers.
+func line(w io.Writer, err *error, format string, args ...any) {
+	if *err != nil {
+		return
+	}
+	_, *err = fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,131 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Path is one client's network situation for the lifetime of a session: a
+// bottleneck capacity trace plus propagation delay and a queueing
+// characteristic.
+type Path struct {
+	Trace *Trace
+	// BaseRTT is the two-way propagation delay with empty queues
+	// (seconds).
+	BaseRTT float64
+	// QueueCapacity is the bottleneck buffer size expressed in seconds of
+	// drain time at the current capacity (a "1.0" buffer holds one
+	// capacity-second of bytes). Determines worst-case bufferbloat.
+	QueueCapacity float64
+}
+
+// Sampler draws per-session paths from a family's distribution.
+type Sampler interface {
+	// Sample draws a path able to back a session of the given duration
+	// (seconds).
+	Sample(rng *rand.Rand, duration float64) Path
+	// Name identifies the family ("puffer", "fcc", "cs2p").
+	Name() string
+}
+
+// PufferPaths is the deployment distribution: heavy-tailed session mean
+// throughput (lognormal body with a Pareto upper tail and a slow lower
+// tail), wide-ranging RTTs, and Puffer-like within-session dynamics.
+//
+// Calibration targets from the paper: "slow" paths (mean delivery rate under
+// 6 Mbit/s) carry roughly a fifth of streams and most of the stalls.
+type PufferPaths struct {
+	// MedianRate is the median session mean capacity (bits/sec).
+	// Zero means the default 12 Mbit/s.
+	MedianRate float64
+	// Sigma is the lognormal shape. Zero means the default 1.1.
+	Sigma float64
+}
+
+// Name implements Sampler.
+func (PufferPaths) Name() string { return "puffer" }
+
+// Sample implements Sampler.
+func (p PufferPaths) Sample(rng *rand.Rand, duration float64) Path {
+	median := p.MedianRate
+	if median == 0 {
+		median = 12e6
+	}
+	sigma := p.Sigma
+	if sigma == 0 {
+		sigma = 1.1
+	}
+	mean := median * math.Exp(sigma*rng.NormFloat64())
+	// Pareto-ish upper tail: a few sessions on very fat pipes.
+	if rng.Float64() < 0.05 {
+		mean *= 1 + rng.ExpFloat64()*3
+	}
+	mean = clamp(mean, 0.15e6, 800e6)
+	tr := GenPuffer(rng, DefaultPufferTraceConfig(mean), duration)
+	rtt := clamp(0.040*math.Exp(0.55*rng.NormFloat64()), 0.005, 0.400)
+	return Path{
+		Trace:         tr,
+		BaseRTT:       rtt,
+		QueueCapacity: clamp(0.25*math.Exp(0.5*rng.NormFloat64()), 0.05, 2.0),
+	}
+}
+
+// FCCPaths is the emulation distribution used in the paper's §5.2
+// methodology: FCC-like traces replayed behind a fixed 40 ms mahimahi delay
+// shell with capacity capped near 12 Mbit/s. Session means are bounded and
+// modest; variation is mild — no heavy tail.
+type FCCPaths struct {
+	// MinRate/MaxRate bound the log-uniform session mean (bits/sec).
+	// Zero means defaults of 0.3 and 16 Mbit/s.
+	MinRate, MaxRate float64
+}
+
+// Name implements Sampler.
+func (FCCPaths) Name() string { return "fcc" }
+
+// Sample implements Sampler.
+func (f FCCPaths) Sample(rng *rand.Rand, duration float64) Path {
+	lo, hi := f.MinRate, f.MaxRate
+	if lo == 0 {
+		lo = 0.3e6
+	}
+	if hi == 0 {
+		hi = 16e6
+	}
+	mean := lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+	tr := GenFCC(rng, DefaultFCCTraceConfig(mean), duration)
+	return Path{
+		Trace:         tr,
+		BaseRTT:       0.040, // the mahimahi shell's fixed 40 ms
+		QueueCapacity: 0.5,
+	}
+}
+
+// CS2PPaths draws discrete-state Markov paths (for the Figure 2 contrast).
+type CS2PPaths struct {
+	MedianRate float64 // zero means 2.4 Mbit/s, as in CS2P's figure
+}
+
+// Name implements Sampler.
+func (CS2PPaths) Name() string { return "cs2p" }
+
+// Sample implements Sampler.
+func (c CS2PPaths) Sample(rng *rand.Rand, duration float64) Path {
+	median := c.MedianRate
+	if median == 0 {
+		median = 2.4e6
+	}
+	mean := median * math.Exp(0.4*rng.NormFloat64())
+	tr := GenCS2P(rng, DefaultCS2PTraceConfig(mean), duration)
+	return Path{Trace: tr, BaseRTT: 0.050, QueueCapacity: 0.5}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

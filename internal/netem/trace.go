@@ -1,0 +1,176 @@
+// Package netem models the network paths Puffer's clients sit behind.
+//
+// A Trace is a piecewise-constant bottleneck capacity over time. Three trace
+// families reproduce the distributional contrast at the heart of the paper:
+//
+//   - Puffer-like: what the deployment sees — per-session mean throughput
+//     drawn from a heavy-tailed distribution, within-session regime switching
+//     with autocorrelated variation, and occasional deep outages (the heavy
+//     tail that defeats emulator-trained models).
+//   - FCC-like: what the mahimahi emulation setup replays — bounded, smoother
+//     broadband traces with mild variation (§5.2's methodology).
+//   - CS2P-like: a small-state Markov throughput process, reproducing the
+//     discrete throughput states of CS2P's Figure 4a that Puffer does NOT
+//     observe (the paper's Figure 2 contrast).
+package netem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Trace is a piecewise-constant bottleneck capacity series. Rate[i] applies
+// to the half-open interval [i*Interval, (i+1)*Interval). Reads past the end
+// wrap around, so a finite trace can back an arbitrarily long session (the
+// emulation methodology replays traces the same way).
+type Trace struct {
+	Interval float64   // seconds per sample; must be > 0
+	Rate     []float64 // bits per second; must be non-negative
+}
+
+// RateAt returns the capacity at absolute time t (seconds), wrapping past
+// the end of the trace.
+func (tr *Trace) RateAt(t float64) float64 {
+	if len(tr.Rate) == 0 {
+		panic("netem: empty trace")
+	}
+	if t < 0 {
+		t = 0
+	}
+	i := int(t/tr.Interval) % len(tr.Rate)
+	return tr.Rate[i]
+}
+
+// SegmentEnd returns the absolute end time of the trace segment containing
+// time t, i.e. the next instant the capacity may change.
+func (tr *Trace) SegmentEnd(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	return (math.Floor(t/tr.Interval) + 1) * tr.Interval
+}
+
+// Duration returns the un-wrapped length of the trace in seconds.
+func (tr *Trace) Duration() float64 {
+	return float64(len(tr.Rate)) * tr.Interval
+}
+
+// Mean returns the time-average capacity in bits per second.
+func (tr *Trace) Mean() float64 {
+	if len(tr.Rate) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range tr.Rate {
+		s += r
+	}
+	return s / float64(len(tr.Rate))
+}
+
+// Min returns the minimum capacity sample.
+func (tr *Trace) Min() float64 {
+	if len(tr.Rate) == 0 {
+		return 0
+	}
+	m := tr.Rate[0]
+	for _, r := range tr.Rate[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Validate checks the trace invariants.
+func (tr *Trace) Validate() error {
+	if tr.Interval <= 0 {
+		return fmt.Errorf("netem: trace interval %v, must be > 0", tr.Interval)
+	}
+	if len(tr.Rate) == 0 {
+		return fmt.Errorf("netem: trace has no samples")
+	}
+	for i, r := range tr.Rate {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("netem: trace sample %d = %v, must be finite and >= 0", i, r)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the trace as "time_s,rate_bps" rows with a header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s,rate_bps"); err != nil {
+		return err
+	}
+	for i, r := range tr.Rate {
+		if _, err := fmt.Fprintf(bw, "%.3f,%.0f\n", float64(i)*tr.Interval, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The interval is inferred from
+// the first two timestamps (or 1 s for a single-row trace).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var times, rates []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "time_s") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("netem: line %d: want 2 fields, got %d", line, len(parts))
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("netem: line %d: bad time: %w", line, err)
+		}
+		rt, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("netem: line %d: bad rate: %w", line, err)
+		}
+		times = append(times, ts)
+		rates = append(rates, rt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netem: reading trace: %w", err)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("netem: trace file has no samples")
+	}
+	interval := 1.0
+	if len(times) >= 2 {
+		interval = times[1] - times[0]
+		if interval <= 0 {
+			return nil, fmt.Errorf("netem: non-increasing timestamps")
+		}
+	}
+	tr := &Trace{Interval: interval, Rate: rates}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Constant returns a trace with fixed capacity, mainly for tests.
+func Constant(rateBps, duration, interval float64) *Trace {
+	n := int(math.Ceil(duration / interval))
+	if n < 1 {
+		n = 1
+	}
+	tr := &Trace{Interval: interval, Rate: make([]float64, n)}
+	for i := range tr.Rate {
+		tr.Rate[i] = rateBps
+	}
+	return tr
+}

@@ -1,0 +1,89 @@
+package nn
+
+import "math"
+
+// Softmax writes the softmax of logits into dst (which must be the same
+// length) using the max-subtraction trick for numerical stability.
+func Softmax(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic("nn: Softmax length mismatch")
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1.0 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(sum(exp(x))) computed stably.
+func LogSumExp(x []float64) float64 {
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += math.Exp(v - max)
+	}
+	return max + math.Log(sum)
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func ArgMax(x []float64) int {
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("nn: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Entropy returns the Shannon entropy (nats) of the distribution p.
+// Zero-probability entries contribute zero.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// Mean returns the arithmetic mean of x; zero for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

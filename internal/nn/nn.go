@@ -1,0 +1,196 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// for the Fugu Transmission Time Predictor and the Pensieve policy network:
+// fully-connected layers with ReLU activations, a softmax/cross-entropy
+// classification head or a linear/MSE regression head, SGD and Adam
+// optimizers, per-sample weighting, and gob serialization.
+//
+// Everything is deterministic given a seeded *rand.Rand. All math is float64.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully-connected multi-layer perceptron. Hidden layers use ReLU;
+// the output layer is linear (interpret the outputs as logits for
+// classification or as raw values for regression).
+//
+// Fields are exported for gob serialization; treat them as read-only outside
+// this package.
+type MLP struct {
+	// Sizes holds the layer widths, input first. A net with no hidden
+	// layers (len(Sizes) == 2) is an affine model — the "linear
+	// regression" ablation in the paper is exactly this.
+	Sizes []int
+	// W[l] is the weight matrix of layer l, row-major with shape
+	// Sizes[l+1] x Sizes[l].
+	W [][]float64
+	// B[l] is the bias vector of layer l, length Sizes[l+1].
+	B [][]float64
+}
+
+// NewMLP constructs an MLP with He-initialized weights and zero biases.
+// sizes must have at least two entries (input and output width).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewMLP needs at least input and output sizes, got %v", sizes))
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: NewMLP layer sizes must be positive, got %v", sizes))
+		}
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	m.W = make([][]float64, len(sizes)-1)
+	m.B = make([][]float64, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		m.W[l] = make([]float64, out*in)
+		m.B[l] = make([]float64, out)
+		// He initialization suits ReLU hidden layers and is harmless
+		// for the linear output layer.
+		std := math.Sqrt(2.0 / float64(in))
+		for i := range m.W[l] {
+			m.W[l][i] = rng.NormFloat64() * std
+		}
+	}
+	return m
+}
+
+// NumLayers returns the number of weight layers (len(Sizes)-1).
+func (m *MLP) NumLayers() int { return len(m.Sizes) - 1 }
+
+// InputSize returns the expected input vector length.
+func (m *MLP) InputSize() int { return m.Sizes[0] }
+
+// OutputSize returns the output vector length.
+func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l]) + len(m.B[l])
+	}
+	return n
+}
+
+// Clone returns a deep copy of the network. Used to warm-start retraining
+// from yesterday's model, as the paper does.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...)}
+	c.W = make([][]float64, len(m.W))
+	c.B = make([][]float64, len(m.B))
+	for l := range m.W {
+		c.W[l] = append([]float64(nil), m.W[l]...)
+		c.B[l] = append([]float64(nil), m.B[l]...)
+	}
+	return c
+}
+
+// Workspace holds preallocated activation buffers so that repeated forward
+// (and backward) passes do not allocate. A Workspace is tied to the layer
+// sizes of the MLP that created it and is not safe for concurrent use.
+type Workspace struct {
+	sizes []int
+	// acts[0] aliases nothing (input copied in); acts[l] is the
+	// post-activation output of layer l-1.
+	acts [][]float64
+	// zs[l] is the pre-activation of layer l (length Sizes[l+1]).
+	zs [][]float64
+	// deltas[l] is dLoss/dz for layer l during backprop.
+	deltas [][]float64
+}
+
+// NewWorkspace allocates a Workspace matching the network's layer sizes.
+func (m *MLP) NewWorkspace() *Workspace {
+	ws := &Workspace{sizes: m.Sizes}
+	ws.acts = make([][]float64, len(m.Sizes))
+	for i, s := range m.Sizes {
+		ws.acts[i] = make([]float64, s)
+	}
+	ws.zs = make([][]float64, m.NumLayers())
+	ws.deltas = make([][]float64, m.NumLayers())
+	for l := 0; l < m.NumLayers(); l++ {
+		ws.zs[l] = make([]float64, m.Sizes[l+1])
+		ws.deltas[l] = make([]float64, m.Sizes[l+1])
+	}
+	return ws
+}
+
+// compatible reports whether ws was created for a net with the same shape.
+func (ws *Workspace) compatible(m *MLP) bool {
+	if len(ws.sizes) != len(m.Sizes) {
+		return false
+	}
+	for i := range ws.sizes {
+		if ws.sizes[i] != m.Sizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardInto runs a forward pass using ws's buffers and returns the output
+// logits. The returned slice aliases the workspace and is valid until the
+// next ForwardInto call on the same workspace.
+func (m *MLP) ForwardInto(ws *Workspace, x []float64) []float64 {
+	if len(x) != m.InputSize() {
+		panic(fmt.Sprintf("nn: input length %d, want %d", len(x), m.InputSize()))
+	}
+	if !ws.compatible(m) {
+		panic("nn: workspace shape does not match network")
+	}
+	copy(ws.acts[0], x)
+	last := m.NumLayers() - 1
+	for l := 0; l <= last; l++ {
+		in := ws.acts[l]
+		z := ws.zs[l]
+		w := m.W[l]
+		b := m.B[l]
+		nIn := m.Sizes[l]
+		for o := range z {
+			row := w[o*nIn : (o+1)*nIn]
+			sum := b[o]
+			for i, xi := range in {
+				sum += row[i] * xi
+			}
+			z[o] = sum
+		}
+		out := ws.acts[l+1]
+		if l == last {
+			copy(out, z)
+		} else {
+			for i, v := range z {
+				if v > 0 {
+					out[i] = v
+				} else {
+					out[i] = 0
+				}
+			}
+		}
+	}
+	return ws.acts[len(ws.acts)-1]
+}
+
+// Forward runs a forward pass, allocating a fresh output slice. Convenient
+// for tests and cold paths; hot paths should use ForwardInto.
+func (m *MLP) Forward(x []float64) []float64 {
+	ws := m.NewWorkspace()
+	out := m.ForwardInto(ws, x)
+	return append([]float64(nil), out...)
+}
+
+// PredictDist runs a forward pass and softmaxes the logits into dst,
+// returning a probability distribution over the output classes. dst must
+// have length OutputSize; if nil, a new slice is allocated.
+func (m *MLP) PredictDist(ws *Workspace, x []float64, dst []float64) []float64 {
+	logits := m.ForwardInto(ws, x)
+	if dst == nil {
+		dst = make([]float64, len(logits))
+	}
+	Softmax(dst, logits)
+	return dst
+}

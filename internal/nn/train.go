@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer applies a gradient step to a network's parameters. Gradients are
+// mean-gradients over the batch the caller accumulated.
+type Optimizer interface {
+	// Step updates net in place given gradients shaped like net.W / net.B.
+	Step(net *MLP, gradW, gradB [][]float64)
+}
+
+// SGD is stochastic gradient descent with optional momentum and L2 weight
+// decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	vw, vb [][]float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(net *MLP, gradW, gradB [][]float64) {
+	if s.Momentum != 0 && s.vw == nil {
+		s.vw = zerosLike(net.W)
+		s.vb = zerosLike(net.B)
+	}
+	for l := range net.W {
+		for i, g := range gradW[l] {
+			if s.WeightDecay != 0 {
+				g += s.WeightDecay * net.W[l][i]
+			}
+			if s.Momentum != 0 {
+				s.vw[l][i] = s.Momentum*s.vw[l][i] + g
+				g = s.vw[l][i]
+			}
+			net.W[l][i] -= s.LR * g
+		}
+		for i, g := range gradB[l] {
+			if s.Momentum != 0 {
+				s.vb[l][i] = s.Momentum*s.vb[l][i] + g
+				g = s.vb[l][i]
+			}
+			net.B[l][i] -= s.LR * g
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64 // defaults to 0.9 if zero
+	Beta2 float64 // defaults to 0.999 if zero
+	Eps   float64 // defaults to 1e-8 if zero
+
+	t              int
+	mw, vw, mb, vb [][]float64
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(net *MLP, gradW, gradB [][]float64) {
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Eps == 0 {
+		a.Eps = 1e-8
+	}
+	if a.mw == nil {
+		a.mw, a.vw = zerosLike(net.W), zerosLike(net.W)
+		a.mb, a.vb = zerosLike(net.B), zerosLike(net.B)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	upd := func(p, g, m, v []float64) {
+		for i := range p {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+	for l := range net.W {
+		upd(net.W[l], gradW[l], a.mw[l], a.vw[l])
+		upd(net.B[l], gradB[l], a.mb[l], a.vb[l])
+	}
+}
+
+func zerosLike(p [][]float64) [][]float64 {
+	z := make([][]float64, len(p))
+	for i := range p {
+		z[i] = make([]float64, len(p[i]))
+	}
+	return z
+}
+
+// Trainer accumulates gradients over minibatches and steps an optimizer.
+// It supports weighted samples (the paper weights recent days more heavily)
+// and both classification (softmax + cross-entropy) and regression (MSE)
+// heads. Not safe for concurrent use.
+type Trainer struct {
+	Net *MLP
+	Opt Optimizer
+
+	ws           *Workspace
+	gradW, gradB [][]float64
+	probs        []float64
+}
+
+// NewTrainer creates a Trainer for net with the given optimizer.
+func NewTrainer(net *MLP, opt Optimizer) *Trainer {
+	return &Trainer{
+		Net:   net,
+		Opt:   opt,
+		ws:    net.NewWorkspace(),
+		gradW: zerosLike(net.W),
+		gradB: zerosLike(net.B),
+		probs: make([]float64, net.OutputSize()),
+	}
+}
+
+func (t *Trainer) zeroGrads() {
+	for l := range t.gradW {
+		clearSlice(t.gradW[l])
+		clearSlice(t.gradB[l])
+	}
+}
+
+func clearSlice(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// backprop propagates delta (dLoss/dz of the output layer, already scaled by
+// the sample weight) through the network, accumulating into gradW/gradB.
+// The workspace must hold the forward state for this sample.
+func (t *Trainer) backprop(delta []float64) {
+	net := t.Net
+	last := net.NumLayers() - 1
+	copy(t.ws.deltas[last], delta)
+	for l := last; l >= 0; l-- {
+		d := t.ws.deltas[l]
+		in := t.ws.acts[l]
+		nIn := net.Sizes[l]
+		gw := t.gradW[l]
+		gb := t.gradB[l]
+		for o, dv := range d {
+			if dv == 0 {
+				continue
+			}
+			row := gw[o*nIn : (o+1)*nIn]
+			for i, xi := range in {
+				row[i] += dv * xi
+			}
+			gb[o] += dv
+		}
+		if l == 0 {
+			break
+		}
+		// delta_{l-1} = (W[l]^T d) * relu'(z_{l-1})
+		prev := t.ws.deltas[l-1]
+		clearSlice(prev)
+		w := net.W[l]
+		for o, dv := range d {
+			if dv == 0 {
+				continue
+			}
+			row := w[o*nIn : (o+1)*nIn]
+			for i := range prev {
+				prev[i] += row[i] * dv
+			}
+		}
+		z := t.ws.zs[l-1]
+		for i := range prev {
+			if z[i] <= 0 {
+				prev[i] = 0
+			}
+		}
+	}
+}
+
+// TrainClassBatch performs one optimizer step on a weighted minibatch of
+// classification samples and returns the weighted mean cross-entropy loss
+// (nats). labels[i] indexes the true output bin; weights may be nil for
+// uniform weighting.
+func (t *Trainer) TrainClassBatch(xs [][]float64, labels []int, weights []float64) float64 {
+	if len(xs) != len(labels) {
+		panic(fmt.Sprintf("nn: %d inputs vs %d labels", len(xs), len(labels)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	t.zeroGrads()
+	totalW := 0.0
+	if weights == nil {
+		totalW = float64(len(xs))
+	} else {
+		for _, w := range weights {
+			totalW += w
+		}
+	}
+	if totalW <= 0 {
+		return 0
+	}
+	loss := 0.0
+	delta := make([]float64, t.Net.OutputSize())
+	for s, x := range xs {
+		w := 1.0
+		if weights != nil {
+			w = weights[s]
+		}
+		if w == 0 {
+			continue
+		}
+		logits := t.Net.ForwardInto(t.ws, x)
+		Softmax(t.probs, logits)
+		lbl := labels[s]
+		if lbl < 0 || lbl >= len(t.probs) {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", lbl, len(t.probs)))
+		}
+		p := t.probs[lbl]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss += -w * math.Log(p)
+		scale := w / totalW
+		for i, pi := range t.probs {
+			delta[i] = pi * scale
+		}
+		delta[lbl] -= scale
+		t.backprop(delta)
+	}
+	t.Opt.Step(t.Net, t.gradW, t.gradB)
+	return loss / totalW
+}
+
+// TrainRegBatch performs one optimizer step on a weighted minibatch of
+// regression samples (MSE loss, linear output) and returns the weighted mean
+// squared error. targets[i] must have length OutputSize.
+func (t *Trainer) TrainRegBatch(xs, targets [][]float64, weights []float64) float64 {
+	if len(xs) != len(targets) {
+		panic(fmt.Sprintf("nn: %d inputs vs %d targets", len(xs), len(targets)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	t.zeroGrads()
+	totalW := 0.0
+	if weights == nil {
+		totalW = float64(len(xs))
+	} else {
+		for _, w := range weights {
+			totalW += w
+		}
+	}
+	if totalW <= 0 {
+		return 0
+	}
+	loss := 0.0
+	delta := make([]float64, t.Net.OutputSize())
+	for s, x := range xs {
+		w := 1.0
+		if weights != nil {
+			w = weights[s]
+		}
+		if w == 0 {
+			continue
+		}
+		out := t.Net.ForwardInto(t.ws, x)
+		scale := w / totalW
+		for i, o := range out {
+			diff := o - targets[s][i]
+			loss += w * diff * diff
+			delta[i] = 2 * diff * scale
+		}
+		t.backprop(delta)
+	}
+	t.Opt.Step(t.Net, t.gradW, t.gradB)
+	return loss / totalW
+}
+
+// PolicyGradStep performs one step of REINFORCE-style training: for each
+// sample, the gradient of -advantage*log(pi(action|x)) - entropyCoeff*H(pi)
+// is accumulated, then the optimizer steps once. Used by the Pensieve
+// reproduction. Returns the mean policy loss (excluding the entropy bonus).
+func (t *Trainer) PolicyGradStep(xs [][]float64, actions []int, advantages []float64, entropyCoeff float64) float64 {
+	if len(xs) != len(actions) || len(xs) != len(advantages) {
+		panic("nn: PolicyGradStep length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	t.zeroGrads()
+	n := float64(len(xs))
+	loss := 0.0
+	delta := make([]float64, t.Net.OutputSize())
+	for s, x := range xs {
+		logits := t.Net.ForwardInto(t.ws, x)
+		Softmax(t.probs, logits)
+		a := actions[s]
+		adv := advantages[s]
+		p := t.probs[a]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss += -adv * math.Log(p)
+		// d/dlogits of -adv*log p_a  =  adv*(p - onehot_a)
+		for i, pi := range t.probs {
+			delta[i] = adv * pi / n
+			// entropy-bonus gradient: d/dlogits of -H(p) is
+			// p_i*(log p_i + H); we *add* coeff * that to move
+			// toward higher entropy... i.e., we minimize
+			// -coeff*H, whose gradient is coeff*p_i*(log p_i + H).
+			if entropyCoeff != 0 && pi > 0 {
+				h := Entropy(t.probs)
+				delta[i] += entropyCoeff * pi * (math.Log(pi) + h) / n
+			}
+		}
+		delta[a] -= adv / n
+		t.backprop(delta)
+	}
+	t.Opt.Step(t.Net, t.gradW, t.gradB)
+	return loss / n
+}
+
+// CrossEntropy evaluates the mean cross-entropy loss (nats) of net on a
+// labeled dataset without training. It is the metric used in the paper's
+// Figure 7 TTP ablation.
+func CrossEntropy(net *MLP, xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ws := net.NewWorkspace()
+	probs := make([]float64, net.OutputSize())
+	loss := 0.0
+	for s, x := range xs {
+		logits := net.ForwardInto(ws, x)
+		Softmax(probs, logits)
+		p := probs[labels[s]]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(len(xs))
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction matches
+// the label.
+func Accuracy(net *MLP, xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ws := net.NewWorkspace()
+	hit := 0
+	for s, x := range xs {
+		logits := net.ForwardInto(ws, x)
+		if ArgMax(logits) == labels[s] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(xs))
+}

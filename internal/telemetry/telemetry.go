@@ -1,0 +1,304 @@
+// Package telemetry defines the measurement records Puffer publishes in its
+// open data release (Appendix B of the paper) — video_sent, video_acked,
+// and client_buffer — plus the per-stream summary figures the analysis is
+// built on (watch time, stall time, SSIM mean and variation, startup delay).
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// VideoSent is recorded every time the server sends a video chunk: chunk
+// identity, size and quality, and the sender-side tcp_info snapshot.
+type VideoSent struct {
+	Time       float64 // seconds since experiment epoch
+	SessionID  int
+	StreamID   int
+	ExptID     string // experimental group (scheme name)
+	ChunkIndex int
+	Quality    int     // ladder rung
+	Size       float64 // bytes
+	SSIMdB     float64
+	// tcp_info fields, as in the open data:
+	CWND         float64 // packets
+	InFlight     float64 // packets
+	MinRTT       float64 // seconds
+	RTT          float64 // seconds
+	DeliveryRate float64 // bits/s
+}
+
+// VideoAcked is recorded when the client acknowledges a chunk; matched with
+// VideoSent it yields the chunk's transmission time.
+type VideoAcked struct {
+	Time       float64
+	SessionID  int
+	StreamID   int
+	ChunkIndex int
+}
+
+// ClientBuffer is the client's periodic/event buffer report.
+type ClientBuffer struct {
+	Time      float64
+	SessionID int
+	StreamID  int
+	Event     string // "startup", "play", "rebuffer", "timer"
+	Buffer    float64
+	CumRebuf  float64
+}
+
+// StreamSummary is the per-stream digest used in every analysis.
+type StreamSummary struct {
+	SessionID int
+	StreamID  int
+	Scheme    string
+
+	// PathMeanRate is the session's mean TCP delivery rate (bits/s);
+	// the paper's "slow path" cut is PathMeanRate < 6 Mbit/s.
+	PathMeanRate float64
+
+	StartupDelay float64 // seconds; 0 if never played
+	PlayTime     float64 // seconds of video actually played
+	StallTime    float64 // seconds stalled (excludes startup)
+	Chunks       int
+
+	SSIMMean       float64 // mean SSIM (dB) over played chunks
+	SSIMVar        float64 // mean |ΔSSIM| (dB) between consecutive chunks
+	MeanBitrate    float64 // bits/s of delivered video
+	FirstChunkSSIM float64
+
+	NeverPlayed bool // excluded: stream never began playing
+	BadDecoder  bool // excluded: client-side decoder too slow
+}
+
+// WatchTime is the stream's total watch time: played plus stalled time,
+// the denominator convention for time spent stalled.
+func (s StreamSummary) WatchTime() float64 { return s.PlayTime + s.StallTime }
+
+// StallRatio is the stream's own stall fraction; aggregate analyses use
+// total-stall/total-watch across streams instead (see the stats package).
+func (s StreamSummary) StallRatio() float64 {
+	w := s.WatchTime()
+	if w <= 0 {
+		return 0
+	}
+	return s.StallTime / w
+}
+
+// Eligible reports whether the stream enters the primary analysis: it began
+// playing, watched at least 4 seconds, and did not hit the slow-decoder
+// exclusion — the CONSORT criteria of Figure A1.
+func (s StreamSummary) Eligible() bool {
+	return !s.NeverPlayed && !s.BadDecoder && s.WatchTime() >= 4
+}
+
+// SlowPath reports whether the stream sits on a "slow" network path, the
+// paper's < 6 Mbit/s mean delivery-rate cut used in Figure 8.
+func (s StreamSummary) SlowPath() bool { return s.PathMeanRate < 6e6 }
+
+// SummaryBuilder incrementally computes a StreamSummary from per-chunk
+// events, so the streamer does not retain per-chunk slices.
+type SummaryBuilder struct {
+	s         StreamSummary
+	prevSSIM  float64
+	havePrev  bool
+	ssimSum   float64
+	deltaSum  float64
+	deltas    int
+	byteSum   float64
+	rateSum   float64
+	rateCount int
+}
+
+// NewSummaryBuilder starts a summary for one stream.
+func NewSummaryBuilder(sessionID, streamID int, scheme string) *SummaryBuilder {
+	return &SummaryBuilder{s: StreamSummary{SessionID: sessionID, StreamID: streamID, Scheme: scheme}}
+}
+
+// Chunk records one delivered chunk.
+func (b *SummaryBuilder) Chunk(ssim float64, sizeBytes float64, deliveryRate float64) {
+	if b.s.Chunks == 0 {
+		b.s.FirstChunkSSIM = ssim
+	}
+	b.s.Chunks++
+	b.ssimSum += ssim
+	b.byteSum += sizeBytes
+	if b.havePrev {
+		d := ssim - b.prevSSIM
+		if d < 0 {
+			d = -d
+		}
+		b.deltaSum += d
+		b.deltas++
+	}
+	b.prevSSIM = ssim
+	b.havePrev = true
+	if deliveryRate > 0 {
+		b.rateSum += deliveryRate
+		b.rateCount++
+	}
+}
+
+// Finish completes the summary with playback totals.
+func (b *SummaryBuilder) Finish(startup, playTime, stallTime float64, neverPlayed, badDecoder bool) StreamSummary {
+	s := b.s
+	s.StartupDelay = startup
+	s.PlayTime = playTime
+	s.StallTime = stallTime
+	s.NeverPlayed = neverPlayed
+	s.BadDecoder = badDecoder
+	if s.Chunks > 0 {
+		s.SSIMMean = b.ssimSum / float64(s.Chunks)
+	}
+	if b.deltas > 0 {
+		s.SSIMVar = b.deltaSum / float64(b.deltas)
+	}
+	if playTime > 0 {
+		s.MeanBitrate = b.byteSum * 8 / (float64(s.Chunks) * chunkDurApprox)
+	}
+	if b.rateCount > 0 {
+		s.PathMeanRate = b.rateSum / float64(b.rateCount)
+	}
+	return s
+}
+
+// chunkDurApprox converts chunk counts to seconds for bitrate accounting.
+const chunkDurApprox = 2.002
+
+// WriteSummariesCSV writes stream summaries with a header row.
+func WriteSummariesCSV(w io.Writer, sums []StreamSummary) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "session_id,stream_id,scheme,path_mean_rate_bps,startup_s,play_s,stall_s,chunks,ssim_mean_db,ssim_var_db,mean_bitrate_bps,first_chunk_ssim_db,never_played,bad_decoder"); err != nil {
+		return err
+	}
+	for _, s := range sums {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s,%.0f,%.3f,%.3f,%.3f,%d,%.4f,%.4f,%.0f,%.4f,%t,%t\n",
+			s.SessionID, s.StreamID, s.Scheme, s.PathMeanRate, s.StartupDelay, s.PlayTime, s.StallTime,
+			s.Chunks, s.SSIMMean, s.SSIMVar, s.MeanBitrate, s.FirstChunkSSIM, s.NeverPlayed, s.BadDecoder); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSummariesCSV parses the output of WriteSummariesCSV.
+func ReadSummariesCSV(r io.Reader) ([]StreamSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []StreamSummary
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "session_id") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 14 {
+			return nil, fmt.Errorf("telemetry: line %d: want 14 fields, got %d", line, len(f))
+		}
+		var s StreamSummary
+		var err error
+		parseInt := func(v string) int {
+			if err != nil {
+				return 0
+			}
+			var n int
+			n, err = strconv.Atoi(v)
+			return n
+		}
+		parseF := func(v string) float64 {
+			if err != nil {
+				return 0
+			}
+			var x float64
+			x, err = strconv.ParseFloat(v, 64)
+			return x
+		}
+		parseB := func(v string) bool {
+			if err != nil {
+				return false
+			}
+			var b bool
+			b, err = strconv.ParseBool(v)
+			return b
+		}
+		s.SessionID = parseInt(f[0])
+		s.StreamID = parseInt(f[1])
+		s.Scheme = f[2]
+		s.PathMeanRate = parseF(f[3])
+		s.StartupDelay = parseF(f[4])
+		s.PlayTime = parseF(f[5])
+		s.StallTime = parseF(f[6])
+		s.Chunks = parseInt(f[7])
+		s.SSIMMean = parseF(f[8])
+		s.SSIMVar = parseF(f[9])
+		s.MeanBitrate = parseF(f[10])
+		s.FirstChunkSSIM = parseF(f[11])
+		s.NeverPlayed = parseB(f[12])
+		s.BadDecoder = parseB(f[13])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading summaries: %w", err)
+	}
+	return out, nil
+}
+
+// Log collects full-resolution measurement rows for small runs and the data
+// release formats. Large experiments summarize instead of logging.
+type Log struct {
+	Sent   []VideoSent
+	Acked  []VideoAcked
+	Buffer []ClientBuffer
+}
+
+// WriteVideoSentCSV writes the video_sent table.
+func (l *Log) WriteVideoSentCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,session_id,stream_id,expt_id,chunk_index,quality,size,ssim_db,cwnd,in_flight,min_rtt,rtt,delivery_rate"); err != nil {
+		return err
+	}
+	for _, v := range l.Sent {
+		if _, err := fmt.Fprintf(bw, "%.3f,%d,%d,%s,%d,%d,%.0f,%.4f,%.1f,%.1f,%.6f,%.6f,%.0f\n",
+			v.Time, v.SessionID, v.StreamID, v.ExptID, v.ChunkIndex, v.Quality, v.Size, v.SSIMdB,
+			v.CWND, v.InFlight, v.MinRTT, v.RTT, v.DeliveryRate); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteVideoAckedCSV writes the video_acked table.
+func (l *Log) WriteVideoAckedCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,session_id,stream_id,chunk_index"); err != nil {
+		return err
+	}
+	for _, v := range l.Acked {
+		if _, err := fmt.Fprintf(bw, "%.3f,%d,%d,%d\n", v.Time, v.SessionID, v.StreamID, v.ChunkIndex); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteClientBufferCSV writes the client_buffer table.
+func (l *Log) WriteClientBufferCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,session_id,stream_id,event,buffer,cum_rebuf"); err != nil {
+		return err
+	}
+	for _, v := range l.Buffer {
+		if _, err := fmt.Fprintf(bw, "%.3f,%d,%d,%s,%.3f,%.3f\n", v.Time, v.SessionID, v.StreamID, v.Event, v.Buffer, v.CumRebuf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

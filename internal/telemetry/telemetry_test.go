@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryBuilderBasics(t *testing.T) {
+	b := NewSummaryBuilder(1, 2, "Fugu")
+	b.Chunk(15, 1e6, 5e6)
+	b.Chunk(17, 1.2e6, 6e6)
+	b.Chunk(16, 1.1e6, 7e6)
+	s := b.Finish(0.5, 6.006, 1.0, false, false)
+
+	if s.SessionID != 1 || s.StreamID != 2 || s.Scheme != "Fugu" {
+		t.Fatalf("identity fields wrong: %+v", s)
+	}
+	if s.Chunks != 3 {
+		t.Fatalf("chunks = %d, want 3", s.Chunks)
+	}
+	if math.Abs(s.SSIMMean-16) > 1e-9 {
+		t.Fatalf("SSIMMean = %v, want 16", s.SSIMMean)
+	}
+	// |17-15| = 2, |16-17| = 1 -> mean 1.5
+	if math.Abs(s.SSIMVar-1.5) > 1e-9 {
+		t.Fatalf("SSIMVar = %v, want 1.5", s.SSIMVar)
+	}
+	if s.FirstChunkSSIM != 15 {
+		t.Fatalf("FirstChunkSSIM = %v, want 15", s.FirstChunkSSIM)
+	}
+	if math.Abs(s.PathMeanRate-6e6) > 1e-9 {
+		t.Fatalf("PathMeanRate = %v, want 6e6", s.PathMeanRate)
+	}
+	wantBitrate := (1e6 + 1.2e6 + 1.1e6) * 8 / (3 * 2.002)
+	if math.Abs(s.MeanBitrate-wantBitrate) > 1 {
+		t.Fatalf("MeanBitrate = %v, want %v", s.MeanBitrate, wantBitrate)
+	}
+}
+
+func TestWatchTimeAndStallRatio(t *testing.T) {
+	s := StreamSummary{PlayTime: 90, StallTime: 10}
+	if s.WatchTime() != 100 {
+		t.Fatalf("WatchTime = %v", s.WatchTime())
+	}
+	if s.StallRatio() != 0.1 {
+		t.Fatalf("StallRatio = %v", s.StallRatio())
+	}
+	if (StreamSummary{}).StallRatio() != 0 {
+		t.Fatal("empty stream StallRatio should be 0")
+	}
+}
+
+func TestEligibility(t *testing.T) {
+	cases := []struct {
+		s    StreamSummary
+		want bool
+	}{
+		{StreamSummary{PlayTime: 10}, true},
+		{StreamSummary{PlayTime: 3.9}, false},                   // under 4 s
+		{StreamSummary{PlayTime: 10, NeverPlayed: true}, false}, // never played
+		{StreamSummary{PlayTime: 10, BadDecoder: true}, false},  // decoder exclusion
+		{StreamSummary{PlayTime: 2, StallTime: 3}, true},        // watch = play+stall
+	}
+	for i, c := range cases {
+		if got := c.s.Eligible(); got != c.want {
+			t.Errorf("case %d: Eligible = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSlowPathCut(t *testing.T) {
+	if !(StreamSummary{PathMeanRate: 5.9e6}).SlowPath() {
+		t.Fatal("5.9 Mbps should be slow")
+	}
+	if (StreamSummary{PathMeanRate: 6.1e6}).SlowPath() {
+		t.Fatal("6.1 Mbps should not be slow")
+	}
+}
+
+func TestSummariesCSVRoundtrip(t *testing.T) {
+	in := []StreamSummary{
+		{SessionID: 1, StreamID: 0, Scheme: "BBA", PathMeanRate: 4e6, StartupDelay: 0.8,
+			PlayTime: 120.5, StallTime: 2.25, Chunks: 60, SSIMMean: 15.1234, SSIMVar: 0.9,
+			MeanBitrate: 2.4e6, FirstChunkSSIM: 11.5},
+		{SessionID: 2, StreamID: 1, Scheme: "Fugu", NeverPlayed: true},
+		{SessionID: 3, StreamID: 0, Scheme: "MPC-HM", BadDecoder: true, PlayTime: 50},
+	}
+	var buf bytes.Buffer
+	if err := WriteSummariesCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSummariesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("roundtrip count %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Scheme != in[i].Scheme || out[i].SessionID != in[i].SessionID {
+			t.Fatalf("row %d identity mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		if math.Abs(out[i].PlayTime-in[i].PlayTime) > 1e-3 {
+			t.Fatalf("row %d PlayTime %v vs %v", i, out[i].PlayTime, in[i].PlayTime)
+		}
+		if out[i].NeverPlayed != in[i].NeverPlayed || out[i].BadDecoder != in[i].BadDecoder {
+			t.Fatalf("row %d exclusion flags mismatch", i)
+		}
+	}
+}
+
+func TestReadSummariesCSVErrors(t *testing.T) {
+	bad := []string{
+		"1,2,x\n",                        // wrong field count
+		strings.Repeat("a,", 13) + "a\n", // unparseable
+	}
+	for i, in := range bad {
+		if _, err := ReadSummariesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted bad input", i)
+		}
+	}
+	// Empty input is fine: no rows.
+	out, err := ReadSummariesCSV(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d rows", err, len(out))
+	}
+}
+
+func TestLogCSVWriters(t *testing.T) {
+	l := &Log{
+		Sent: []VideoSent{{
+			Time: 1.5, SessionID: 1, StreamID: 0, ExptID: "Fugu", ChunkIndex: 3,
+			Quality: 7, Size: 1.1e6, SSIMdB: 16.2, CWND: 40, InFlight: 20,
+			MinRTT: 0.04, RTT: 0.05, DeliveryRate: 5e6,
+		}},
+		Acked:  []VideoAcked{{Time: 2.0, SessionID: 1, StreamID: 0, ChunkIndex: 3}},
+		Buffer: []ClientBuffer{{Time: 2.0, SessionID: 1, StreamID: 0, Event: "timer", Buffer: 8.4, CumRebuf: 0.2}},
+	}
+	var sent, acked, cbuf bytes.Buffer
+	if err := l.WriteVideoSentCSV(&sent); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteVideoAckedCSV(&acked); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteClientBufferCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sent.String(), "delivery_rate") || !strings.Contains(sent.String(), "Fugu") {
+		t.Fatalf("video_sent CSV malformed:\n%s", sent.String())
+	}
+	if lines := strings.Count(acked.String(), "\n"); lines != 2 {
+		t.Fatalf("video_acked CSV has %d lines, want 2", lines)
+	}
+	if !strings.Contains(cbuf.String(), "timer") {
+		t.Fatalf("client_buffer CSV malformed:\n%s", cbuf.String())
+	}
+}
+
+func TestSummaryBuilderNoChunks(t *testing.T) {
+	b := NewSummaryBuilder(5, 0, "BBA")
+	s := b.Finish(0, 0, 0, true, false)
+	if s.Chunks != 0 || s.SSIMMean != 0 || s.SSIMVar != 0 {
+		t.Fatalf("empty stream summary wrong: %+v", s)
+	}
+	if s.Eligible() {
+		t.Fatal("never-played stream must be ineligible")
+	}
+}

@@ -1,0 +1,144 @@
+// Package puffer is the public API of this reproduction of "Learning in
+// situ: a randomized experiment in video streaming" (Yan et al., NSDI 2020):
+// the Puffer randomized-trial platform and the Fugu ABR algorithm, rebuilt
+// in pure Go on a simulated substrate (network paths, a fluid TCP sender,
+// a VBR encoding ladder, and a viewer-behavior model).
+//
+// The quickest way in:
+//
+//	suite, _ := puffer.NewSuite(puffer.DefaultScale, 1, log.Printf)
+//	rows, _ := suite.Fig1(os.Stdout) // the paper's primary results table
+//
+// Or assemble the pieces yourself: train a TTP with CollectDataset and
+// TrainTTP, wrap it in NewFugu, and race it against the classical schemes
+// with RunExperiment. See examples/ for full programs.
+package puffer
+
+import (
+	"math/rand"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+	"puffer/internal/figures"
+	"puffer/internal/pensieve"
+)
+
+// Re-exported types: the experiment harness.
+type (
+	// Env is the world sessions run in (paths, channels, viewers).
+	Env = experiment.Env
+	// Scheme names an ABR algorithm factory for a trial arm.
+	Scheme = experiment.Scheme
+	// Config describes a randomized controlled trial.
+	Config = experiment.Config
+	// Result holds a trial's sessions.
+	Result = experiment.Result
+	// SchemeStats is one row of a results table (Figure 1/8 style).
+	SchemeStats = experiment.SchemeStats
+	// ConsortArm is one arm of the CONSORT flow accounting.
+	ConsortArm = experiment.ConsortArm
+	// Algorithm is the ABR decision interface.
+	Algorithm = abr.Algorithm
+	// Observation is what a server-side ABR scheme sees per decision.
+	Observation = abr.Observation
+	// TTP is Fugu's Transmission Time Predictor.
+	TTP = core.TTP
+	// Dataset is TTP training telemetry.
+	Dataset = core.Dataset
+	// TrainConfig controls TTP training.
+	TrainConfig = core.TrainConfig
+	// Suite bundles trained models and regenerates the paper's figures.
+	Suite = figures.Suite
+)
+
+// Analysis filters (Figure 8's two panels).
+const (
+	AllPaths  = experiment.AllPaths
+	SlowPaths = experiment.SlowPaths
+)
+
+// DefaultScale is the default primary-experiment size in sessions.
+const DefaultScale = figures.DefaultScale
+
+// DefaultEnv returns the deployment-like environment (heavy-tailed paths,
+// six live channels, the default viewer model).
+func DefaultEnv() Env { return experiment.DefaultEnv() }
+
+// EmulationEnv returns the §5.2 emulation testbed (FCC-like paths behind a
+// fixed 40 ms shell, replaying a 10-minute clip).
+func EmulationEnv() Env { return experiment.EmulationEnv() }
+
+// RunExperiment executes a randomized controlled trial.
+func RunExperiment(cfg Config) (*Result, error) { return experiment.Run(cfg) }
+
+// Analyze computes per-scheme statistics with bootstrap confidence
+// intervals.
+func Analyze(res *Result, filter experiment.AnalysisFilter, seed int64) []SchemeStats {
+	return experiment.Analyze(res, filter, seed)
+}
+
+// Consort produces the CONSORT-style flow accounting (Figure A1).
+func Consort(res *Result) []ConsortArm { return experiment.Consort(res) }
+
+// CollectDataset gathers TTP training telemetry by running the given
+// behavior schemes in env — "in situ" when env is the deployment
+// environment.
+func CollectDataset(env Env, schemes []Scheme, sessions int, seed int64, day int) (*Dataset, error) {
+	return experiment.CollectDataset(env, schemes, sessions, seed, day)
+}
+
+// NewTTP constructs an untrained Transmission Time Predictor with the
+// paper's architecture (per-step 22-64-64-21 networks over a 5-chunk
+// horizon).
+func NewTTP(seed int64) *TTP {
+	return core.NewTTP(rand.New(rand.NewSource(seed)), core.DefaultHorizon, nil,
+		core.DefaultFeatures(), core.KindTransTime)
+}
+
+// DefaultTrainConfig returns the paper's TTP training setup (14-day window,
+// recency weighting).
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// TrainTTP fits a TTP on telemetry with supervised learning.
+func TrainTTP(t *TTP, data *Dataset, cfg TrainConfig) error {
+	_, err := core.Train(t, data, cfg)
+	return err
+}
+
+// NewFugu wraps a trained TTP in the stochastic MPC controller — the
+// deployed Fugu scheme.
+func NewFugu(t *TTP) Algorithm { return core.NewFugu(t) }
+
+// NewBBA returns buffer-based control, the "simple" scheme.
+func NewBBA() Algorithm { return abr.NewBBA() }
+
+// WithExploration wraps a scheme with epsilon-uniform rung exploration,
+// used when collecting TTP training data so the predictor sees outcomes
+// for chunk sizes the behavior policy would never pick on its own.
+func WithExploration(alg Algorithm, epsilon float64, seed int64) Algorithm {
+	return abr.NewExplorer(alg, epsilon, seed)
+}
+
+// NewMPCHM returns MPC with the harmonic-mean throughput predictor.
+func NewMPCHM() Algorithm { return abr.NewMPCHM() }
+
+// NewRobustMPCHM returns RobustMPC with the harmonic-mean predictor.
+func NewRobustMPCHM() Algorithm { return abr.NewRobustMPCHM() }
+
+// TrainPensieve trains the Pensieve baseline with policy-gradient RL in the
+// emulation environment and returns the deployable agent.
+func TrainPensieve(seed int64) Algorithm {
+	cfg := pensieve.DefaultTrainConfig()
+	cfg.Seed = seed
+	agent, _ := pensieve.Train(cfg)
+	return agent
+}
+
+// NewSuite builds the figure-regeneration suite: collects telemetry, trains
+// the in-situ and emulation TTPs and the Pensieve policy. scale is the
+// primary experiment's session count (DefaultScale if <= 0); logf may be
+// nil.
+func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) {
+	return figures.NewSuite(scale, seed, logf)
+}
