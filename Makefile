@@ -1,0 +1,34 @@
+# Local developer entry points, mirrored 1:1 by .github/workflows/ci.yml:
+# `make ci` runs exactly what CI runs, so a green local run means a green PR.
+
+GO ?= go
+# Session count for the benchmark smoke pass — small enough to finish in a
+# couple of minutes, large enough to exercise every figure end to end.
+BENCH_SESSIONS ?= 40
+
+.PHONY: fmt fmt-check vet build test bench ci
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Compile and execute every benchmark once (figures included) as a smoke
+# check; use `go test -bench=. -benchmem ./...` directly for real timings.
+bench:
+	PUFFER_BENCH_SESSIONS=$(BENCH_SESSIONS) $(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+ci: fmt-check vet build test bench

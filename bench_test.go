@@ -13,12 +13,16 @@ package puffer
 
 import (
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
 
+	"puffer/internal/abr"
+	"puffer/internal/core"
 	"puffer/internal/figures"
+	"puffer/internal/media"
 )
 
 var (
@@ -42,6 +46,74 @@ func benchSuite(b *testing.B) *figures.Suite {
 		b.Fatalf("building suite: %v", suiteErr)
 	}
 	return suite
+}
+
+// benchObservations builds a fixed set of representative mid-stream MPC
+// decisions over the full ten-rung ladder: varied buffer levels, histories,
+// and path speeds.
+func benchObservations(n int) []*abr.Observation {
+	rng := rand.New(rand.NewSource(7))
+	set := make([]*abr.Observation, n)
+	for s := range set {
+		horizon := make([]media.Chunk, 5)
+		for i := range horizon {
+			vs := make([]media.Encoding, 10)
+			for q := range vs {
+				vs[q] = media.Encoding{
+					Size:   float64(q+1) * (2e5 + rng.Float64()*1e5),
+					SSIMdB: 10 + float64(q) + rng.Float64(),
+				}
+			}
+			horizon[i] = media.Chunk{Index: i, Versions: vs}
+		}
+		tput := 1e6 + rng.Float64()*20e6
+		hist := make([]abr.ChunkRecord, abr.HistoryLen)
+		for i := range hist {
+			size := 3e5 + rng.Float64()*2e6
+			hist[i] = abr.ChunkRecord{
+				Size:      size,
+				TransTime: size * 8 / (tput * (0.7 + 0.6*rng.Float64())),
+				SSIMdB:    12 + 4*rng.Float64(),
+				Quality:   rng.Intn(10),
+			}
+		}
+		set[s] = &abr.Observation{
+			ChunkIndex:  len(hist),
+			Buffer:      rng.Float64() * 15,
+			BufferCap:   15,
+			LastQuality: hist[len(hist)-1].Quality,
+			LastSSIM:    hist[len(hist)-1].SSIMdB,
+			History:     hist,
+			Horizon:     horizon,
+		}
+	}
+	return set
+}
+
+// BenchmarkMPCDecision measures the full Fugu serving unit: one per-stream
+// controller (predictor construction included, as the platform creates one
+// per stream) making a run of chunk decisions. The batched sub-benchmark is
+// the production path — one batched TTP call per horizon net feeding the
+// factored value iteration; the scalar sub-benchmark is the seed's per-call
+// fill and memoized recursion, retained as ChooseReference. The ns/decision
+// metric is the headline before/after number recorded in CHANGES.md.
+func BenchmarkMPCDecision(b *testing.B) {
+	ttp := core.NewTTP(rand.New(rand.NewSource(1)), core.DefaultHorizon, nil,
+		core.DefaultFeatures(), core.KindTransTime)
+	obsSet := benchObservations(8)
+	run := func(b *testing.B, choose func(*abr.MPC, *abr.Observation) int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := core.NewFugu(ttp)
+			for _, obs := range obsSet {
+				choose(m, obs)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(obsSet)), "ns/decision")
+	}
+	b.Run("batched", func(b *testing.B) { run(b, (*abr.MPC).Choose) })
+	b.Run("scalar", func(b *testing.B) { run(b, (*abr.MPC).ChooseReference) })
 }
 
 func BenchmarkFig1PrimaryExperiment(b *testing.B) {

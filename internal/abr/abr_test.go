@@ -375,13 +375,3 @@ func TestAlgorithmsImplementInterface(t *testing.T) {
 		a.Reset()
 	}
 }
-
-func BenchmarkMPCDecision(b *testing.B) {
-	m := NewMPCHM()
-	obs := obsWith(7, histAtThroughput(8, 5e6), testChunks(5, 2.5e5))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Choose(obs)
-	}
-}

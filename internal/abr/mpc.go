@@ -17,10 +17,34 @@ type Predictor interface {
 	PredictDist(obs *Observation, step int, size float64, dist []float64)
 }
 
+// BatchPredictor is implemented by predictors that can fill the
+// distributions for every candidate size of one horizon step in a single
+// call. The MPC issues one batched call per horizon net instead of nQ
+// scalar calls, which lets NN-backed predictors run one matrix-matrix pass
+// per layer over all quality levels.
+type BatchPredictor interface {
+	Predictor
+	// PredictDistBatch fills dists[q*NumBins:(q+1)*NumBins] with the
+	// transmission-time distribution for sizes[q], for every q. It must
+	// produce exactly the same distributions as len(sizes) PredictDist
+	// calls would.
+	PredictDistBatch(obs *Observation, step int, sizes []float64, dists []float64)
+}
+
 // MPC is the paper's §4.4 controller: a stochastic model-predictive
 // controller maximizing expected cumulative QoE (Equation 1) over a lookahead
 // horizon by value iteration over a discretized buffer, shared verbatim by
 // MPC-HM, RobustMPC-HM, and Fugu (only the Predictor differs).
+//
+// Choose runs the production path: a batched distribution fill (one
+// BatchPredictor call per horizon step when the predictor supports it)
+// followed by an iterative backward value iteration that factors the
+// prediction expectation out of the previous-quality dimension — the
+// expected-stall and continuation terms of a candidate quality do not depend
+// on which quality preceded it, so they are computed once per (step, q,
+// buffer) instead of once per (step, q, buffer, prevQ). ChooseReference
+// keeps the original per-call fill and memoized recursion for differential
+// tests and as the benchmark baseline.
 type MPC struct {
 	AlgName string
 	Pred    Predictor
@@ -29,11 +53,23 @@ type MPC struct {
 	BufStep float64 // buffer discretization (seconds per bin)
 
 	// scratch, reused across decisions
-	value   []float64
-	visited []bool
-	dists   []float64 // predicted distributions, indexed (step*nQ+q)*NumBins
-	nBuf    int
-	bufCap  float64
+	dists  []float64 // predicted distributions, indexed (step*nQ+q)*NumBins
+	sizes  []float64 // candidate sizes for one step's batched fill
+	nBuf   int
+	bufCap float64
+
+	// factored value-iteration scratch
+	stallTab []float64 // (bb*NumBins+k) -> stall from quantized buffer bb on outcome k
+	nextTab  []int32   // (bb*NumBins+k) -> next buffer bin from bb on outcome k
+	vCur     []float64 // value planes, indexed prevQ*nBuf+bufBin
+	vNext    []float64
+	base     []float64 // (q*nBuf+bb) -> expected stall penalty + continuation
+	qual     []float64 // (q*nQ+prevQ) -> quality and variation terms
+	sumP     []float64 // per-q distribution mass (1 up to rounding)
+
+	// reference-path scratch (memoized recursion), allocated on first use
+	refValue   []float64
+	refVisited []bool
 }
 
 // NewMPC builds the controller with the paper's defaults: horizon 5,
@@ -52,29 +88,176 @@ func (m *MPC) Reset() {
 	}
 }
 
-// Choose implements Algorithm: it plans a trajectory over the horizon and
-// returns the first step's rung.
-func (m *MPC) Choose(obs *Observation) int {
+// horizonDims clamps the planning horizon to the observation and returns
+// (h, nQ); h == 0 means there is nothing to decide.
+func (m *MPC) horizonDims(obs *Observation) (int, int) {
 	h := m.Horizon
 	if h > len(obs.Horizon) {
 		h = len(obs.Horizon)
 	}
 	if h == 0 {
+		return 0, 0
+	}
+	return h, len(obs.Horizon[0].Versions)
+}
+
+// Choose implements Algorithm: it plans a trajectory over the horizon and
+// returns the first step's rung.
+func (m *MPC) Choose(obs *Observation) int {
+	h, nQ := m.horizonDims(obs)
+	if h == 0 {
 		return 0
 	}
-	nQ := len(obs.Horizon[0].Versions)
 	m.ensureScratch(obs.BufferCap, h, nQ)
+	m.fillDists(obs, h, nQ)
+	return m.plan(obs, h, nQ)
+}
 
-	// Predictions depend only on (step, proposed size), not on the DP
-	// state: compute each of the h*nQ distributions exactly once.
+// fillDists computes each of the h*nQ transmission-time distributions
+// exactly once; predictions depend only on (step, proposed size), not on the
+// planner's state. Batch-capable predictors get one call per horizon step.
+func (m *MPC) fillDists(obs *Observation, h, nQ int) {
+	if bp, ok := m.Pred.(BatchPredictor); ok {
+		sizes := m.sizes[:nQ]
+		for step := 0; step < h; step++ {
+			for q := 0; q < nQ; q++ {
+				sizes[q] = obs.Horizon[step].Versions[q].Size
+			}
+			bp.PredictDistBatch(obs, step, sizes, m.dists[step*nQ*NumBins:(step+1)*nQ*NumBins])
+		}
+		return
+	}
 	for step := 0; step < h; step++ {
 		for q := 0; q < nQ; q++ {
 			m.Pred.PredictDist(obs, step, obs.Horizon[step].Versions[q].Size, m.distFor(step, q, nQ))
 		}
 	}
+}
 
-	// Root step: previous chunk is the actually-sent one (or absent).
+// distFor returns the cached distribution slice for (step, quality).
+func (m *MPC) distFor(step, q, nQ int) []float64 {
+	at := (step*nQ + q) * NumBins
+	return m.dists[at : at+NumBins]
+}
+
+// ensureScratch sizes the planning tables for this decision's dimensions.
+func (m *MPC) ensureScratch(bufCap float64, h, nQ int) {
+	if bufCap <= 0 {
+		bufCap = 15
+	}
+	m.bufCap = bufCap
+	m.nBuf = int(bufCap/m.BufStep) + 1
+	if distNeed := h * nQ * NumBins; cap(m.dists) < distNeed {
+		m.dists = make([]float64, distNeed)
+	} else {
+		m.dists = m.dists[:distNeed]
+	}
+	m.sizes = grow(m.sizes, nQ)
+	m.stallTab = grow(m.stallTab, m.nBuf*NumBins)
+	m.nextTab = grow(m.nextTab, m.nBuf*NumBins)
+	m.vCur = grow(m.vCur, m.nBuf*nQ)
+	m.vNext = grow(m.vNext, m.nBuf*nQ)
+	m.base = grow(m.base, nQ*m.nBuf)
+	m.qual = grow(m.qual, nQ*nQ)
+	m.sumP = grow(m.sumP, nQ)
+}
+
+// grow resizes s to n elements, reusing capacity when possible.
+func grow[T int32 | float64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// plan runs the factored backward value iteration and returns the best rung
+// for the root step. It is algebraically identical to the reference
+// recursion: for a candidate quality q at step s from quantized buffer b,
+//
+//	v(q | b, prevQ) = Σ_k p[k]·(ssim_q − λ|ssim_q − ssim_prevQ| − µ·stall(k,b) + V_{s+1}(next(k,b), q))
+//
+// and only the first two terms depend on prevQ, so the per-(q,b) expectation
+// is hoisted out of the prevQ loop.
+func (m *MPC) plan(obs *Observation, h, nQ int) int {
+	nBuf := m.nBuf
+	mu, lambda := m.Weights.Mu, m.Weights.Lambda
+
+	// Outcome tables over the quantized buffer grid: stall duration and
+	// the successor buffer bin for every (buffer bin, outcome bin) pair.
+	for bb := 0; bb < nBuf; bb++ {
+		buf := float64(bb) * m.BufStep
+		row := bb * NumBins
+		for k := 0; k < NumBins; k++ {
+			tt := BinValue(k)
+			stall := tt - buf
+			if stall < 0 {
+				stall = 0
+			}
+			m.stallTab[row+k] = stall
+			m.nextTab[row+k] = int32(m.bufBin(m.nextBuffer(buf, tt)))
+		}
+	}
+
+	// Backward induction: vNext starts as V_h ≡ 0 and after the loop body
+	// for step s holds V_s (value planes indexed prevQ*nBuf+bufBin).
+	vCur, vNext := m.vCur, m.vNext
+	for i := range vNext {
+		vNext[i] = 0
+	}
+	for s := h - 1; s >= 1; s-- {
+		for q := 0; q < nQ; q++ {
+			d := m.distFor(s, q, nQ)
+			sp := 0.0
+			for _, p := range d {
+				sp += p
+			}
+			m.sumP[q] = sp
+			vrow := vNext[q*nBuf : (q+1)*nBuf]
+			brow := m.base[q*nBuf : (q+1)*nBuf]
+			for bb := 0; bb < nBuf; bb++ {
+				off := bb * NumBins
+				stalls := m.stallTab[off : off+NumBins]
+				nexts := m.nextTab[off : off+NumBins]
+				acc := 0.0
+				for k, p := range d {
+					if p == 0 {
+						continue
+					}
+					acc += p * (vrow[nexts[k]] - mu*stalls[k])
+				}
+				brow[bb] = acc
+			}
+		}
+		for q := 0; q < nQ; q++ {
+			sq := obs.Horizon[s].Versions[q].SSIMdB
+			for pq := 0; pq < nQ; pq++ {
+				m.qual[q*nQ+pq] = m.sumP[q] * (sq - lambda*math.Abs(sq-obs.Horizon[s-1].Versions[pq].SSIMdB))
+			}
+		}
+		for pq := 0; pq < nQ; pq++ {
+			row := vCur[pq*nBuf : (pq+1)*nBuf]
+			c0 := m.qual[pq] // q = 0
+			b0 := m.base[:nBuf]
+			for bb := 0; bb < nBuf; bb++ {
+				row[bb] = c0 + b0[bb]
+			}
+			for q := 1; q < nQ; q++ {
+				c := m.qual[q*nQ+pq]
+				bs := m.base[q*nBuf : (q+1)*nBuf]
+				for bb := 0; bb < nBuf; bb++ {
+					if v := c + bs[bb]; v > row[bb] {
+						row[bb] = v
+					}
+				}
+			}
+		}
+		vCur, vNext = vNext, vCur
+	}
+
+	// Root step: the buffer is exact (not quantized) and the previous
+	// chunk is the actually-sent one, or absent at stream start.
 	bestQ, bestV := 0, math.Inf(-1)
+	hasPrev := obs.LastQuality >= 0
 	for q := 0; q < nQ; q++ {
 		enc := obs.Horizon[0].Versions[q]
 		v := 0.0
@@ -84,45 +267,18 @@ func (m *MPC) Choose(obs *Observation) int {
 			}
 			tt := BinValue(k)
 			stall := math.Max(tt-obs.Buffer, 0)
-			qoe := m.Weights.Chunk(enc.SSIMdB, obs.LastSSIM, stall, obs.LastQuality >= 0)
-			next := m.nextBuffer(obs.Buffer, tt)
-			v += p * (qoe + m.valueAt(obs, 1, h, nQ, next, q))
+			qoe := m.Weights.Chunk(enc.SSIMdB, obs.LastSSIM, stall, hasPrev)
+			cont := 0.0
+			if h > 1 {
+				cont = vNext[q*m.nBuf+m.bufBin(m.nextBuffer(obs.Buffer, tt))]
+			}
+			v += p * (qoe + cont)
 		}
 		if v > bestV {
 			bestV, bestQ = v, q
 		}
 	}
 	return bestQ
-}
-
-// distFor returns the cached distribution slice for (step, quality).
-func (m *MPC) distFor(step, q, nQ int) []float64 {
-	at := (step*nQ + q) * NumBins
-	return m.dists[at : at+NumBins]
-}
-
-// ensureScratch sizes the memo tables for this decision's dimensions.
-func (m *MPC) ensureScratch(bufCap float64, h, nQ int) {
-	if bufCap <= 0 {
-		bufCap = 15
-	}
-	m.bufCap = bufCap
-	m.nBuf = int(bufCap/m.BufStep) + 1
-	need := h * m.nBuf * nQ
-	if cap(m.value) < need {
-		m.value = make([]float64, need)
-		m.visited = make([]bool, need)
-	}
-	m.value = m.value[:need]
-	m.visited = m.visited[:need]
-	for i := range m.visited {
-		m.visited[i] = false
-	}
-	if distNeed := h * nQ * NumBins; cap(m.dists) < distNeed {
-		m.dists = make([]float64, distNeed)
-	} else {
-		m.dists = m.dists[:distNeed]
-	}
 }
 
 // nextBuffer applies the buffer dynamics: drain during the transfer, then
@@ -146,19 +302,67 @@ func (m *MPC) bufBin(buf float64) int {
 	return i
 }
 
-// valueAt is the memoized value function v*(step, buffer, prevQuality):
+// ChooseReference is the original controller implementation: a per-call
+// scalar distribution fill followed by forward recursion with memoization
+// over reachable states. It selects the same rung as Choose (the factored
+// iteration only reassociates the same sums) and is retained as the
+// differential-testing oracle and the scalar-path benchmark baseline.
+func (m *MPC) ChooseReference(obs *Observation) int {
+	h, nQ := m.horizonDims(obs)
+	if h == 0 {
+		return 0
+	}
+	m.ensureScratch(obs.BufferCap, h, nQ)
+	need := h * m.nBuf * nQ
+	m.refValue = grow(m.refValue, need)
+	if cap(m.refVisited) < need {
+		m.refVisited = make([]bool, need)
+	}
+	m.refVisited = m.refVisited[:need]
+	for i := range m.refVisited {
+		m.refVisited[i] = false
+	}
+
+	for step := 0; step < h; step++ {
+		for q := 0; q < nQ; q++ {
+			m.Pred.PredictDist(obs, step, obs.Horizon[step].Versions[q].Size, m.distFor(step, q, nQ))
+		}
+	}
+
+	bestQ, bestV := 0, math.Inf(-1)
+	for q := 0; q < nQ; q++ {
+		enc := obs.Horizon[0].Versions[q]
+		v := 0.0
+		for k, p := range m.distFor(0, q, nQ) {
+			if p == 0 {
+				continue
+			}
+			tt := BinValue(k)
+			stall := math.Max(tt-obs.Buffer, 0)
+			qoe := m.Weights.Chunk(enc.SSIMdB, obs.LastSSIM, stall, obs.LastQuality >= 0)
+			next := m.nextBuffer(obs.Buffer, tt)
+			v += p * (qoe + m.refValueAt(obs, 1, h, nQ, next, q))
+		}
+		if v > bestV {
+			bestV, bestQ = v, q
+		}
+	}
+	return bestQ
+}
+
+// refValueAt is the memoized value function v*(step, buffer, prevQuality):
 // the best expected QoE obtainable from horizon step `step` onward, given
-// the buffer level and that the chunk at step-1 was sent at prevQ.
-// Only states reachable from the root are ever computed (the paper's
-// "forward recursion with memoization").
-func (m *MPC) valueAt(obs *Observation, step, h, nQ int, buf float64, prevQ int) float64 {
+// the buffer level and that the chunk at step-1 was sent at prevQ. Only
+// states reachable from the root are ever computed (the paper's "forward
+// recursion with memoization").
+func (m *MPC) refValueAt(obs *Observation, step, h, nQ int, buf float64, prevQ int) float64 {
 	if step >= h {
 		return 0
 	}
 	bb := m.bufBin(buf)
 	idx := (step*m.nBuf+bb)*nQ + prevQ
-	if m.visited[idx] {
-		return m.value[idx]
+	if m.refVisited[idx] {
+		return m.refValue[idx]
 	}
 	bufQ := float64(bb) * m.BufStep // quantized buffer for child states
 	prevSSIM := obs.Horizon[step-1].Versions[prevQ].SSIMdB
@@ -175,14 +379,14 @@ func (m *MPC) valueAt(obs *Observation, step, h, nQ int, buf float64, prevQ int)
 			stall := math.Max(tt-bufQ, 0)
 			qoe := m.Weights.Chunk(enc.SSIMdB, prevSSIM, stall, true)
 			next := m.nextBuffer(bufQ, tt)
-			v += p * (qoe + m.valueAt(obs, step+1, h, nQ, next, q))
+			v += p * (qoe + m.refValueAt(obs, step+1, h, nQ, next, q))
 		}
 		if v > best {
 			best = v
 		}
 	}
-	m.visited[idx] = true
-	m.value[idx] = best
+	m.refVisited[idx] = true
+	m.refValue[idx] = best
 	return best
 }
 
@@ -229,6 +433,21 @@ func (p *HarmonicMeanPredictor) PredictDist(obs *Observation, step int, size flo
 	}
 	tt := size * 8 / tput
 	dist[BinIndex(tt)] = 1
+}
+
+// PredictDistBatch implements BatchPredictor: the throughput estimate is
+// computed once per step instead of once per candidate size.
+func (p *HarmonicMeanPredictor) PredictDistBatch(obs *Observation, step int, sizes []float64, dists []float64) {
+	tput := p.estimate(obs)
+	if tput <= 0 {
+		tput = coldStartTput
+	}
+	for i := range dists {
+		dists[i] = 0
+	}
+	for q, size := range sizes {
+		dists[q*NumBins+BinIndex(size*8/tput)] = 1
+	}
 }
 
 // estimate returns the (possibly robust-discounted) throughput estimate in

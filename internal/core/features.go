@@ -99,6 +99,30 @@ func (c FeatureConfig) Assemble(dst []float64, hist []abr.ChunkRecord, info tcps
 	}
 }
 
+// AssembleBatch writes one feature row per proposed size into dst (row-major,
+// len(sizes) × Dim rows). All rows share the same history and tcp_info — on
+// the MPC hot path the candidate sizes of one horizon step differ only in the
+// proposed-size feature — so the shared prefix is assembled once and copied,
+// and only the last feature is patched per row.
+func (c FeatureConfig) AssembleBatch(dst []float64, hist []abr.ChunkRecord, info tcpsim.Info, sizes []float64) {
+	dim := c.Dim()
+	if len(dst) != len(sizes)*dim {
+		panic("core: batch feature buffer has wrong length")
+	}
+	if len(sizes) == 0 {
+		return
+	}
+	row0 := dst[:dim]
+	c.Assemble(row0, hist, info, sizes[0])
+	for r := 1; r < len(sizes); r++ {
+		row := dst[r*dim : (r+1)*dim]
+		copy(row, row0)
+		if c.UseProposedSize {
+			row[dim-1] = clip(sizes[r]/sizeScale, 0, 1e3)
+		}
+	}
+}
+
 func clip(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo

@@ -203,6 +203,39 @@ type EvalResult struct {
 	Within1      float64 // fraction within one bin of the truth
 }
 
+// evalBatchRows is how many examples the evaluation sweeps push through the
+// TTP per batched forward pass.
+const evalBatchRows = 256
+
+// forEachDistRow streams the dataset through the predictor in batches and
+// calls visit with each example's index and raw output distribution. The
+// dist slice is reused between calls.
+func forEachDistRow(pred *Predictor, step int, xs [][]float64, visit func(i int, dist []float64)) {
+	rows := evalBatchRows
+	if len(xs) < rows {
+		rows = len(xs)
+	}
+	dim := pred.TTP.Cfg.Dim()
+	buf := make([]float64, rows*dim)
+	dists := make([]float64, rows*abr.NumBins)
+	for at := 0; at < len(xs); at += rows {
+		b := len(xs) - at
+		if b > rows {
+			b = rows
+		}
+		for r := 0; r < b; r++ {
+			if len(xs[at+r]) != dim {
+				panic(fmt.Sprintf("core: example %d has %d features, want %d", at+r, len(xs[at+r]), dim))
+			}
+			copy(buf[r*dim:(r+1)*dim], xs[at+r])
+		}
+		pred.PredictFeaturesBatch(step, buf[:b*dim], b, dists[:b*abr.NumBins])
+		for r := 0; r < b; r++ {
+			visit(at+r, dists[r*abr.NumBins:(r+1)*abr.NumBins])
+		}
+	}
+}
+
 // Evaluate scores the TTP on a dataset (typically held-out) at one step.
 func Evaluate(t *TTP, data *Dataset, step int) EvalResult {
 	cfg := TrainConfig{} // no windowing or weighting for evaluation
@@ -211,11 +244,9 @@ func Evaluate(t *TTP, data *Dataset, step int) EvalResult {
 		return EvalResult{}
 	}
 	pred := NewPredictor(t, ModeProbabilistic)
-	dist := make([]float64, abr.NumBins)
 	var ce float64
 	var hit, near int
-	for i, x := range xs {
-		pred.PredictFeatures(step, x, dist)
+	forEachDistRow(pred, step, xs, func(i int, dist []float64) {
 		// For the throughput-kind TTP, labels are throughput bins and
 		// the raw output distribution is over throughput bins too, so
 		// cross-entropy is comparable within a kind. Figure 7 compares
@@ -232,7 +263,7 @@ func Evaluate(t *TTP, data *Dataset, step int) EvalResult {
 		if am >= labels[i]-1 && am <= labels[i]+1 {
 			near++
 		}
-	}
+	})
 	n := float64(len(xs))
 	return EvalResult{CrossEntropy: ce / n, Accuracy: float64(hit) / n, Within1: float64(near) / n}
 }
@@ -252,34 +283,12 @@ func EvaluateTransTimeMode(t *TTP, data *Dataset, step int, mode Mode) EvalResul
 	if len(xs) == 0 {
 		return EvalResult{}
 	}
-	pred := NewPredictor(t, ModeProbabilistic)
-	raw := make([]float64, abr.NumBins)
+	pred := NewPredictor(t, mode)
 	dist := make([]float64, abr.NumBins)
 	var ce float64
 	var hit, near int
-	for i, x := range xs {
-		pred.PredictFeatures(step, x, raw)
-		if t.Kind == KindThroughput {
-			for k := range dist {
-				dist[k] = 0
-			}
-			for k, pr := range raw {
-				if pr == 0 {
-					continue
-				}
-				tt := sizes[i] * 8 / ThroughputBinValue(k)
-				dist[abr.BinIndex(tt)] += pr
-			}
-		} else {
-			copy(dist, raw)
-		}
-		if mode == ModePointEstimate {
-			best := nn.ArgMax(dist)
-			for k := range dist {
-				dist[k] = 0
-			}
-			dist[best] = 1
-		}
+	forEachDistRow(pred, step, xs, func(i int, raw []float64) {
+		pred.finishDist(dist, raw, sizes[i])
 		p := dist[ttLabels[i]]
 		if p < 1e-12 {
 			p = 1e-12
@@ -292,7 +301,7 @@ func EvaluateTransTimeMode(t *TTP, data *Dataset, step int, mode Mode) EvalResul
 		if am >= ttLabels[i]-1 && am <= ttLabels[i]+1 {
 			near++
 		}
-	}
+	})
 	n := float64(len(xs))
 	return EvalResult{CrossEntropy: ce / n, Accuracy: float64(hit) / n, Within1: float64(near) / n}
 }

@@ -113,6 +113,9 @@ func Load(r io.Reader) (*TTP, error) {
 		if net.OutputSize() != abr.NumBins {
 			return nil, fmt.Errorf("core: net %d output %d, want %d bins", i, net.OutputSize(), abr.NumBins)
 		}
+		// Restore the contiguous parameter layout the batched forward
+		// kernel prefers; gob decodes each layer separately.
+		net.Pack()
 	}
 	return &TTP{Cfg: m.Cfg, Kind: m.Kind, Nets: m.Nets}, nil
 }
@@ -150,46 +153,99 @@ const (
 	ModePointEstimate
 )
 
-// Predictor adapts a TTP to the abr.Predictor interface consumed by the MPC
-// engine. Not safe for concurrent use; create one per stream.
+// Predictor adapts a TTP to the abr.Predictor and abr.BatchPredictor
+// interfaces consumed by the MPC engine. The batch path assembles one
+// feature matrix for all candidate sizes of a horizon step and runs a single
+// batched forward pass per net; the scalar PredictDist is a thin wrapper
+// over batch size 1, so both paths produce bitwise-identical distributions.
+// Not safe for concurrent use; create one per stream.
 type Predictor struct {
 	TTP  *TTP
 	Mode Mode
 
-	ws    []*nn.Workspace
-	feat  []float64
-	probs []float64
+	// ws[step] is the batch workspace for Nets[step]; when every net has
+	// the same shape (the normal case) all entries share one workspace.
+	ws     []*nn.BatchWorkspace
+	featM  []float64 // batch feature matrix, B × Cfg.Dim()
+	probsM []float64 // raw network output, B × NumBins
+	size1  []float64 // one-element size buffer for the scalar wrapper
 }
+
+// defaultPredictBatch is the batch capacity a fresh Predictor's buffers are
+// sized for: one row per rung of the default encoding ladder. Larger
+// batches grow the buffers once and reuse them afterwards.
+const defaultPredictBatch = 10
 
 // NewPredictor wraps a trained TTP.
 func NewPredictor(t *TTP, mode Mode) *Predictor {
 	p := &Predictor{TTP: t, Mode: mode}
-	p.ws = make([]*nn.Workspace, len(t.Nets))
+	p.ws = make([]*nn.BatchWorkspace, len(t.Nets))
+	shared := t.Nets[0].NewBatchWorkspace(defaultPredictBatch)
 	for i, net := range t.Nets {
-		p.ws[i] = net.NewWorkspace()
+		if net.SameShape(t.Nets[0]) {
+			p.ws[i] = shared
+		} else {
+			p.ws[i] = net.NewBatchWorkspace(defaultPredictBatch)
+		}
 	}
-	p.feat = make([]float64, t.Cfg.Dim())
-	p.probs = make([]float64, abr.NumBins)
+	p.featM = make([]float64, defaultPredictBatch*t.Cfg.Dim())
+	p.probsM = make([]float64, defaultPredictBatch*abr.NumBins)
+	p.size1 = make([]float64, 1)
 	return p
 }
 
-// PredictDist implements abr.Predictor.
-func (p *Predictor) PredictDist(obs *abr.Observation, step int, size float64, dist []float64) {
-	if step >= len(p.TTP.Nets) {
-		step = len(p.TTP.Nets) - 1
+// growFloats resizes s to n elements, reusing capacity when possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	p.TTP.Cfg.Assemble(p.feat, obs.History, obs.TCP, size)
-	net := p.TTP.Nets[step]
-	net.PredictDist(p.ws[step], p.feat, p.probs)
+	return s[:n]
+}
 
+// clampStep maps an out-of-range horizon step to the last trained net.
+func (p *Predictor) clampStep(step int) int {
+	if step >= len(p.TTP.Nets) {
+		return len(p.TTP.Nets) - 1
+	}
+	return step
+}
+
+// PredictDist implements abr.Predictor as a batch-of-one call.
+func (p *Predictor) PredictDist(obs *abr.Observation, step int, size float64, dist []float64) {
+	p.size1[0] = size
+	p.PredictDistBatch(obs, step, p.size1, dist)
+}
+
+// PredictDistBatch implements abr.BatchPredictor: one feature-matrix
+// assembly and one batched forward pass covers every candidate size of the
+// horizon step.
+func (p *Predictor) PredictDistBatch(obs *abr.Observation, step int, sizes []float64, dists []float64) {
+	step = p.clampStep(step)
+	b := len(sizes)
+	if b == 0 {
+		return
+	}
+	dim := p.TTP.Cfg.Dim()
+	p.featM = growFloats(p.featM, b*dim)
+	p.probsM = growFloats(p.probsM, b*abr.NumBins)
+	p.TTP.Cfg.AssembleBatch(p.featM, obs.History, obs.TCP, sizes)
+	p.TTP.Nets[step].PredictDistBatch(p.ws[step], p.featM, b, p.probsM)
+	for r := 0; r < b; r++ {
+		p.finishDist(dists[r*abr.NumBins:(r+1)*abr.NumBins],
+			p.probsM[r*abr.NumBins:(r+1)*abr.NumBins], sizes[r])
+	}
+}
+
+// finishDist turns one raw network output row into the transmission-time
+// distribution the MPC consumes: throughput-kind outputs are converted via
+// T = 8·size/rate, and point-estimate mode collapses to the argmax bin.
+func (p *Predictor) finishDist(dist, probs []float64, size float64) {
 	switch p.TTP.Kind {
 	case KindThroughput:
-		// Convert the throughput distribution to a transmission-time
-		// distribution for this size: T = 8·size/rate.
 		for i := range dist {
 			dist[i] = 0
 		}
-		for i, pr := range p.probs {
+		for i, pr := range probs {
 			if pr == 0 {
 				continue
 			}
@@ -197,7 +253,7 @@ func (p *Predictor) PredictDist(obs *abr.Observation, step int, size float64, di
 			dist[abr.BinIndex(tt)] += pr
 		}
 	default:
-		copy(dist, p.probs)
+		copy(dist, probs)
 	}
 
 	if p.Mode == ModePointEstimate {
@@ -212,10 +268,16 @@ func (p *Predictor) PredictDist(obs *abr.Observation, step int, size float64, di
 // PredictFeatures runs the TTP directly on an assembled feature vector,
 // returning the output distribution. Used by evaluation code.
 func (p *Predictor) PredictFeatures(step int, features []float64, dist []float64) {
-	if step >= len(p.TTP.Nets) {
-		step = len(p.TTP.Nets) - 1
-	}
-	p.TTP.Nets[step].PredictDist(p.ws[step], features, dist)
+	step = p.clampStep(step)
+	p.TTP.Nets[step].PredictDistBatch(p.ws[step], features, 1, dist)
+}
+
+// PredictFeaturesBatch scores `rows` pre-assembled feature rows (row-major
+// in features) at one horizon step, writing one raw distribution per row
+// into dists. Evaluation code uses it to sweep datasets in large batches.
+func (p *Predictor) PredictFeaturesBatch(step int, features []float64, rows int, dists []float64) {
+	step = p.clampStep(step)
+	p.TTP.Nets[step].PredictDistBatch(p.ws[step], features, rows, dists)
 }
 
 // NewFugu builds the deployed Fugu scheme: stochastic MPC over the TTP's

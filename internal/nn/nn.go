@@ -4,6 +4,14 @@
 // classification head or a linear/MSE regression head, SGD and Adam
 // optimizers, per-sample weighting, and gob serialization.
 //
+// Inference has two paths. The scalar path (ForwardInto/PredictDist) runs a
+// single sample through per-layer dot products. The batched path
+// (ForwardBatchInto/PredictDistBatch) runs B samples per call over flat
+// row-major activation matrices with a register-blocked kernel; it produces
+// bitwise-identical outputs to the scalar path (same per-element summation
+// order) while amortizing weight loads across samples. Hot callers — the MPC
+// distribution fill in particular — should batch.
+//
 // Everything is deterministic given a seeded *rand.Rand. All math is float64.
 package nn
 
@@ -18,7 +26,9 @@ import (
 // classification or as raw values for regression).
 //
 // Fields are exported for gob serialization; treat them as read-only outside
-// this package.
+// this package. Do not reassign the W or B slices: they alias a single
+// contiguous parameter slab (cache-friendly for the batched kernel), and
+// replacing a slice header silently detaches it from the slab.
 type MLP struct {
 	// Sizes holds the layer widths, input first. A net with no hidden
 	// layers (len(Sizes) == 2) is an affine model — the "linear
@@ -29,6 +39,12 @@ type MLP struct {
 	W [][]float64
 	// B[l] is the bias vector of layer l, length Sizes[l+1].
 	B [][]float64
+
+	// flat is the contiguous backing array that W and B alias, laid out
+	// layer by layer as W[0] B[0] W[1] B[1] ... so a forward pass walks
+	// memory monotonically. Nil for models built by hand or decoded from
+	// gob until pack() runs; everything still works, just less local.
+	flat []float64
 }
 
 // NewMLP constructs an MLP with He-initialized weights and zero biases.
@@ -43,21 +59,59 @@ func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
 		}
 	}
 	m := &MLP{Sizes: append([]int(nil), sizes...)}
-	m.W = make([][]float64, len(sizes)-1)
-	m.B = make([][]float64, len(sizes)-1)
+	m.alloc()
 	for l := 0; l < len(sizes)-1; l++ {
-		in, out := sizes[l], sizes[l+1]
-		m.W[l] = make([]float64, out*in)
-		m.B[l] = make([]float64, out)
 		// He initialization suits ReLU hidden layers and is harmless
 		// for the linear output layer.
-		std := math.Sqrt(2.0 / float64(in))
+		std := math.Sqrt(2.0 / float64(sizes[l]))
 		for i := range m.W[l] {
 			m.W[l][i] = rng.NormFloat64() * std
 		}
 	}
 	return m
 }
+
+// alloc builds the parameter slab for m.Sizes and points W/B into it.
+func (m *MLP) alloc() {
+	layers := len(m.Sizes) - 1
+	total := 0
+	for l := 0; l < layers; l++ {
+		total += m.Sizes[l+1]*m.Sizes[l] + m.Sizes[l+1]
+	}
+	m.flat = make([]float64, total)
+	m.W = make([][]float64, layers)
+	m.B = make([][]float64, layers)
+	at := 0
+	for l := 0; l < layers; l++ {
+		nw := m.Sizes[l+1] * m.Sizes[l]
+		m.W[l] = m.flat[at : at+nw : at+nw]
+		at += nw
+		nb := m.Sizes[l+1]
+		m.B[l] = m.flat[at : at+nb : at+nb]
+		at += nb
+	}
+}
+
+// pack re-homes the parameters of a model whose W/B slices were allocated
+// separately (e.g. by gob decoding) into one contiguous slab. Values are
+// preserved exactly.
+func (m *MLP) pack() {
+	w, b := m.W, m.B
+	m.alloc()
+	for l := range w {
+		copy(m.W[l], w[l])
+		copy(m.B[l], b[l])
+	}
+}
+
+// SameShape reports whether m and o have identical layer sizes (and can
+// therefore share workspaces).
+func (m *MLP) SameShape(o *MLP) bool { return sameSizes(m.Sizes, o.Sizes) }
+
+// Pack re-homes the parameters into the contiguous slab layout. Call it
+// after gob-decoding an MLP directly (rather than through Load) to restore
+// the cache-friendly layout; values are preserved exactly.
+func (m *MLP) Pack() { m.pack() }
 
 // NumLayers returns the number of weight layers (len(Sizes)-1).
 func (m *MLP) NumLayers() int { return len(m.Sizes) - 1 }
@@ -81,11 +135,10 @@ func (m *MLP) NumParams() int {
 // from yesterday's model, as the paper does.
 func (m *MLP) Clone() *MLP {
 	c := &MLP{Sizes: append([]int(nil), m.Sizes...)}
-	c.W = make([][]float64, len(m.W))
-	c.B = make([][]float64, len(m.B))
+	c.alloc()
 	for l := range m.W {
-		c.W[l] = append([]float64(nil), m.W[l]...)
-		c.B[l] = append([]float64(nil), m.B[l]...)
+		copy(c.W[l], m.W[l])
+		copy(c.B[l], m.B[l])
 	}
 	return c
 }
@@ -122,11 +175,15 @@ func (m *MLP) NewWorkspace() *Workspace {
 
 // compatible reports whether ws was created for a net with the same shape.
 func (ws *Workspace) compatible(m *MLP) bool {
-	if len(ws.sizes) != len(m.Sizes) {
+	return sameSizes(ws.sizes, m.Sizes)
+}
+
+func sameSizes(a, b []int) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range ws.sizes {
-		if ws.sizes[i] != m.Sizes[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -135,7 +192,9 @@ func (ws *Workspace) compatible(m *MLP) bool {
 
 // ForwardInto runs a forward pass using ws's buffers and returns the output
 // logits. The returned slice aliases the workspace and is valid until the
-// next ForwardInto call on the same workspace.
+// next ForwardInto call on the same workspace. It is a thin wrapper over the
+// batched kernel at batch size 1, so scalar and batched results are bitwise
+// identical.
 func (m *MLP) ForwardInto(ws *Workspace, x []float64) []float64 {
 	if len(x) != m.InputSize() {
 		panic(fmt.Sprintf("nn: input length %d, want %d", len(x), m.InputSize()))
@@ -146,19 +205,8 @@ func (m *MLP) ForwardInto(ws *Workspace, x []float64) []float64 {
 	copy(ws.acts[0], x)
 	last := m.NumLayers() - 1
 	for l := 0; l <= last; l++ {
-		in := ws.acts[l]
 		z := ws.zs[l]
-		w := m.W[l]
-		b := m.B[l]
-		nIn := m.Sizes[l]
-		for o := range z {
-			row := w[o*nIn : (o+1)*nIn]
-			sum := b[o]
-			for i, xi := range in {
-				sum += row[i] * xi
-			}
-			z[o] = sum
-		}
+		affineBatch(z, ws.acts[l], m.W[l], m.B[l], 1, m.Sizes[l], m.Sizes[l+1])
 		out := ws.acts[l+1]
 		if l == last {
 			copy(out, z)
@@ -192,5 +240,92 @@ func (m *MLP) PredictDist(ws *Workspace, x []float64, dst []float64) []float64 {
 		dst = make([]float64, len(logits))
 	}
 	Softmax(dst, logits)
+	return dst
+}
+
+// BatchWorkspace holds flat row-major activation matrices for batched
+// forward passes. One workspace can be shared by any number of networks with
+// identical layer sizes (the TTP's per-horizon nets, for instance), as long
+// as calls are sequential: it is not safe for concurrent use. The workspace
+// grows to the largest batch it has seen and never allocates afterwards.
+type BatchWorkspace struct {
+	sizes []int
+	rows  int
+	// acts[l] is the rows × Sizes[l+1] output matrix of layer l.
+	acts [][]float64
+}
+
+// NewBatchWorkspace allocates a batch workspace for this network's shape
+// with capacity for maxRows samples per call. Passing a larger batch later
+// grows the workspace (one-time reallocation).
+func (m *MLP) NewBatchWorkspace(maxRows int) *BatchWorkspace {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	ws := &BatchWorkspace{sizes: m.Sizes}
+	ws.grow(maxRows)
+	return ws
+}
+
+func (ws *BatchWorkspace) grow(rows int) {
+	ws.rows = rows
+	ws.acts = make([][]float64, len(ws.sizes)-1)
+	for l := range ws.acts {
+		ws.acts[l] = make([]float64, rows*ws.sizes[l+1])
+	}
+}
+
+// ensure validates the workspace against m and guarantees room for rows.
+func (ws *BatchWorkspace) ensure(m *MLP, rows int) {
+	if !sameSizes(ws.sizes, m.Sizes) {
+		panic("nn: batch workspace shape does not match network")
+	}
+	if rows > ws.rows {
+		ws.grow(rows)
+	}
+}
+
+// ForwardBatchInto runs rows samples through the network in one pass per
+// layer. xs is the rows × InputSize input matrix, row-major and flat; it is
+// read but not copied or modified. The returned rows × OutputSize logit
+// matrix aliases the workspace and is valid until the next batched call on
+// the same workspace. Row r of the result is bitwise identical to
+// ForwardInto on row r alone.
+func (m *MLP) ForwardBatchInto(ws *BatchWorkspace, xs []float64, rows int) []float64 {
+	if rows <= 0 {
+		panic(fmt.Sprintf("nn: ForwardBatchInto rows = %d, want >= 1", rows))
+	}
+	if len(xs) != rows*m.InputSize() {
+		panic(fmt.Sprintf("nn: batch input length %d, want %d rows x %d", len(xs), rows, m.InputSize()))
+	}
+	ws.ensure(m, rows)
+	in := xs
+	last := m.NumLayers() - 1
+	for l := 0; l <= last; l++ {
+		out := ws.acts[l][:rows*m.Sizes[l+1]]
+		affineBatch(out, in, m.W[l], m.B[l], rows, m.Sizes[l], m.Sizes[l+1])
+		if l != last {
+			reluInPlace(out)
+		}
+		in = out
+	}
+	return in
+}
+
+// PredictDistBatch runs a batched forward pass and softmaxes each row of
+// logits into dst, a rows × OutputSize row-major matrix (allocated when
+// nil). Row r equals PredictDist on sample r exactly.
+func (m *MLP) PredictDistBatch(ws *BatchWorkspace, xs []float64, rows int, dst []float64) []float64 {
+	logits := m.ForwardBatchInto(ws, xs, rows)
+	nOut := m.OutputSize()
+	if dst == nil {
+		dst = make([]float64, rows*nOut)
+	}
+	if len(dst) != rows*nOut {
+		panic(fmt.Sprintf("nn: batch dist length %d, want %d rows x %d", len(dst), rows, nOut))
+	}
+	for r := 0; r < rows; r++ {
+		Softmax(dst[r*nOut:(r+1)*nOut], logits[r*nOut:(r+1)*nOut])
+	}
 	return dst
 }

@@ -16,7 +16,9 @@ func (m *MLP) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a network in gob format from r.
+// Load reads a network in gob format from r. The decoded parameters are
+// re-packed into the contiguous slab layout the batched kernel expects, so
+// loaded models serve exactly as fast as freshly constructed ones.
 func Load(r io.Reader) (*MLP, error) {
 	var m MLP
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
@@ -25,6 +27,7 @@ func Load(r io.Reader) (*MLP, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
+	m.pack()
 	return &m, nil
 }
 

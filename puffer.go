@@ -12,6 +12,14 @@
 // Or assemble the pieces yourself: train a TTP with CollectDataset and
 // TrainTTP, wrap it in NewFugu, and race it against the classical schemes
 // with RunExperiment. See examples/ for full programs.
+//
+// The MPC hot path is batched end to end: predictors implementing
+// BatchPredictor fill the distributions for every candidate quality of a
+// horizon step in one call (the TTP runs one matrix-matrix pass per network
+// layer over the whole ladder), and the controller plans with an iterative,
+// factored value iteration. Custom Algorithm implementations get the same
+// treatment by implementing BatchPredictor; plain Predictor still works via
+// a per-call fallback.
 package puffer
 
 import (
@@ -42,6 +50,13 @@ type (
 	Algorithm = abr.Algorithm
 	// Observation is what a server-side ABR scheme sees per decision.
 	Observation = abr.Observation
+	// Predictor supplies transmission-time distributions to the MPC.
+	Predictor = abr.Predictor
+	// BatchPredictor fills a whole horizon step's candidate sizes per
+	// call; the MPC prefers it when available.
+	BatchPredictor = abr.BatchPredictor
+	// TTPPredictor adapts a TTP to Predictor and BatchPredictor.
+	TTPPredictor = core.Predictor
 	// TTP is Fugu's Transmission Time Predictor.
 	TTP = core.TTP
 	// Dataset is TTP training telemetry.
@@ -109,6 +124,13 @@ func TrainTTP(t *TTP, data *Dataset, cfg TrainConfig) error {
 // NewFugu wraps a trained TTP in the stochastic MPC controller — the
 // deployed Fugu scheme.
 func NewFugu(t *TTP) Algorithm { return core.NewFugu(t) }
+
+// NewTTPPredictor wraps a trained TTP in the batch-capable predictor Fugu
+// uses (full-distribution mode), for building custom controllers on top of
+// the batched hot path.
+func NewTTPPredictor(t *TTP) *TTPPredictor {
+	return core.NewPredictor(t, core.ModeProbabilistic)
+}
 
 // NewBBA returns buffer-based control, the "simple" scheme.
 func NewBBA() Algorithm { return abr.NewBBA() }
