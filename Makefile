@@ -6,7 +6,10 @@ GO ?= go
 # couple of minutes, large enough to exercise every figure end to end.
 BENCH_SESSIONS ?= 40
 
-.PHONY: fmt fmt-check vet build test bench ci
+# Checkpoint dir for the daily-loop smoke run.
+DAILY_DIR ?= /tmp/puffer-daily-smoke
+
+.PHONY: fmt fmt-check vet build test bench daily-smoke ci
 
 fmt:
 	gofmt -w .
@@ -31,4 +34,14 @@ test:
 bench:
 	PUFFER_BENCH_SESSIONS=$(BENCH_SESSIONS) $(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 
-ci: fmt-check vet build test bench
+# Daily-loop smoke: run the continual experiment for one day into a fresh
+# checkpoint dir, then ask the same dir for two days — the second invocation
+# must resume at day 1, exercising kill-and-resume end to end (2 days x 40
+# sessions, nightly retraining on).
+daily-smoke:
+	rm -rf $(DAILY_DIR)
+	$(GO) run ./cmd/puffer-daily -days 1 -sessions 40 -window 2 -epochs 2 -seed 1 -checkpoint $(DAILY_DIR) -ablation=false -q
+	$(GO) run ./cmd/puffer-daily -days 2 -sessions 40 -window 2 -epochs 2 -seed 1 -checkpoint $(DAILY_DIR) -ablation=false
+	test -d $(DAILY_DIR)/retrain/day_001
+
+ci: fmt-check vet build test bench daily-smoke

@@ -59,13 +59,15 @@ type MPC struct {
 	bufCap float64
 
 	// factored value-iteration scratch
-	stallTab []float64 // (bb*NumBins+k) -> stall from quantized buffer bb on outcome k
-	nextTab  []int32   // (bb*NumBins+k) -> next buffer bin from bb on outcome k
-	vCur     []float64 // value planes, indexed prevQ*nBuf+bufBin
-	vNext    []float64
-	base     []float64 // (q*nBuf+bb) -> expected stall penalty + continuation
-	qual     []float64 // (q*nQ+prevQ) -> quality and variation terms
-	sumP     []float64 // per-q distribution mass (1 up to rounding)
+	nextTab []int32   // (bb*NumBins+k), k < k0Tab[bb] -> next buffer bin from bb on outcome k
+	k0Tab   []int32   // bb -> first outcome bin that stalls from quantized buffer bb
+	suffP   []float64 // suffix sums over one distribution: suffP[k] = Σ_{j>=k} p_j
+	suffTT  []float64 // suffTT[k] = Σ_{j>=k} p_j·tt_j
+	vCur    []float64 // value planes, indexed prevQ*nBuf+bufBin
+	vNext   []float64
+	base    []float64 // (q*nBuf+bb) -> expected stall penalty + continuation
+	qual    []float64 // (q*nQ+prevQ) -> quality and variation terms
+	sumP    []float64 // per-q distribution mass (1 up to rounding)
 
 	// reference-path scratch (memoized recursion), allocated on first use
 	refValue   []float64
@@ -153,8 +155,10 @@ func (m *MPC) ensureScratch(bufCap float64, h, nQ int) {
 		m.dists = m.dists[:distNeed]
 	}
 	m.sizes = grow(m.sizes, nQ)
-	m.stallTab = grow(m.stallTab, m.nBuf*NumBins)
 	m.nextTab = grow(m.nextTab, m.nBuf*NumBins)
+	m.k0Tab = grow(m.k0Tab, m.nBuf)
+	m.suffP = grow(m.suffP, NumBins+1)
+	m.suffTT = grow(m.suffTT, NumBins+1)
 	m.vCur = grow(m.vCur, m.nBuf*nQ)
 	m.vNext = grow(m.vNext, m.nBuf*nQ)
 	m.base = grow(m.base, nQ*m.nBuf)
@@ -178,23 +182,33 @@ func grow[T int32 | float64](s []T, n int) []T {
 //
 // and only the first two terms depend on prevQ, so the per-(q,b) expectation
 // is hoisted out of the prevQ loop.
+//
+// The expected-stall and tail-continuation terms are suffix-summed: from
+// buffer b, exactly the outcome bins k ≥ k0(b) (those with tt_k > b) stall,
+// contributing Σ p_k·(tt_k − b) = suffTT[k0] − b·suffP[k0]; and every
+// stalling outcome drains the buffer to empty, so its successor state is the
+// constant one-chunk bin and its continuation is V_{s+1}(cd)·suffP[k0]. Only
+// the non-stalling head bins k < k0(b) still need the per-bin successor
+// lookup, which turns the O(nBuf·NumBins) base term into O(nBuf + nonzero
+// head bins) per (step, quality).
 func (m *MPC) plan(obs *Observation, h, nQ int) int {
 	nBuf := m.nBuf
 	mu, lambda := m.Weights.Mu, m.Weights.Lambda
 
-	// Outcome tables over the quantized buffer grid: stall duration and
-	// the successor buffer bin for every (buffer bin, outcome bin) pair.
+	// Outcome tables over the quantized buffer grid: the first stalling
+	// bin k0 per buffer bin (two pointers; BinValue and the buffer grid
+	// are both increasing) and successor bins for the non-stalling head.
+	cdBin := m.bufBin(m.nextBuffer(0, BinValue(NumBins-1))) // post-stall buffer: one chunk, capped
+	k0 := 0
 	for bb := 0; bb < nBuf; bb++ {
 		buf := float64(bb) * m.BufStep
+		for k0 < NumBins && BinValue(k0) <= buf {
+			k0++
+		}
+		m.k0Tab[bb] = int32(k0)
 		row := bb * NumBins
-		for k := 0; k < NumBins; k++ {
-			tt := BinValue(k)
-			stall := tt - buf
-			if stall < 0 {
-				stall = 0
-			}
-			m.stallTab[row+k] = stall
-			m.nextTab[row+k] = int32(m.bufBin(m.nextBuffer(buf, tt)))
+		for k := 0; k < k0; k++ {
+			m.nextTab[row+k] = int32(m.bufBin(m.nextBuffer(buf, BinValue(k))))
 		}
 	}
 
@@ -207,23 +221,28 @@ func (m *MPC) plan(obs *Observation, h, nQ int) int {
 	for s := h - 1; s >= 1; s-- {
 		for q := 0; q < nQ; q++ {
 			d := m.distFor(s, q, nQ)
-			sp := 0.0
-			for _, p := range d {
-				sp += p
+			m.suffP[NumBins], m.suffTT[NumBins] = 0, 0
+			sp, st := 0.0, 0.0
+			for k := NumBins - 1; k >= 0; k-- {
+				sp += d[k]
+				st += d[k] * BinValue(k)
+				m.suffP[k] = sp
+				m.suffTT[k] = st
 			}
 			m.sumP[q] = sp
 			vrow := vNext[q*nBuf : (q+1)*nBuf]
 			brow := m.base[q*nBuf : (q+1)*nBuf]
+			vcd := vrow[cdBin]
 			for bb := 0; bb < nBuf; bb++ {
-				off := bb * NumBins
-				stalls := m.stallTab[off : off+NumBins]
-				nexts := m.nextTab[off : off+NumBins]
-				acc := 0.0
-				for k, p := range d {
+				buf := float64(bb) * m.BufStep
+				k0 := int(m.k0Tab[bb])
+				acc := vcd*m.suffP[k0] - mu*(m.suffTT[k0]-buf*m.suffP[k0])
+				nexts := m.nextTab[bb*NumBins : bb*NumBins+k0]
+				for k, p := range d[:k0] {
 					if p == 0 {
 						continue
 					}
-					acc += p * (vrow[nexts[k]] - mu*stalls[k])
+					acc += p * vrow[nexts[k]]
 				}
 				brow[bb] = acc
 			}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Dataset serialization: the continual-experiment runner checkpoints each
+// day's telemetry so a killed run can rebuild its sliding training window on
+// resume. Gob preserves float64 bit patterns exactly, so a reloaded dataset
+// trains byte-identically to the original.
+
+// Save writes the dataset in gob format.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("core: encoding dataset: %w", err)
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset written by Save.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: decoding dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to a file.
+func (d *Dataset) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("core: writing dataset file: %w", err)
+	}
+	return nil
+}
+
+// LoadDatasetFile reads a dataset from a file.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening dataset file: %w", err)
+	}
+	defer f.Close()
+	return LoadDataset(f)
+}

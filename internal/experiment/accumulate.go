@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"math/rand"
+	"sort"
+
+	"puffer/internal/stats"
+)
+
+// SchemeAcc is one scheme's mergeable analysis state: the CONSORT counters
+// plus the per-stream series the estimators need. Shards (and days, in the
+// continual runner) each accumulate privately, then merge in a deterministic
+// order; the bootstrap runs once on the merged state. Fields are exported so
+// accumulators can be checkpointed with gob.
+type SchemeAcc struct {
+	Name string
+
+	Sessions    int
+	Streams     int
+	NeverPlayed int
+	ShortWatch  int
+	BadDecoder  int
+	Considered  int
+
+	Points    stats.StreamAcc   // (watch, stall) per considered stream
+	SSIM      stats.WeightedAcc // SSIM weighted by watch time
+	Startup   stats.WeightedAcc
+	FirstSSIM stats.WeightedAcc
+	Duration  stats.WeightedAcc
+
+	VarSum float64
+	VarN   int
+	BrSum  float64
+	BrN    int
+}
+
+// Merge folds another scheme accumulator into this one.
+func (a *SchemeAcc) Merge(b *SchemeAcc) {
+	a.Sessions += b.Sessions
+	a.Streams += b.Streams
+	a.NeverPlayed += b.NeverPlayed
+	a.ShortWatch += b.ShortWatch
+	a.BadDecoder += b.BadDecoder
+	a.Considered += b.Considered
+	a.Points.Merge(&b.Points)
+	a.SSIM.Merge(&b.SSIM)
+	a.Startup.Merge(&b.Startup)
+	a.FirstSSIM.Merge(&b.FirstSSIM)
+	a.Duration.Merge(&b.Duration)
+	a.VarSum += b.VarSum
+	a.VarN += b.VarN
+	a.BrSum += b.BrSum
+	a.BrN += b.BrN
+}
+
+// TrialAcc accumulates per-scheme analysis state for one analysis filter.
+// It is the streaming replacement for materializing a whole *Result: fold
+// sessions in with AddSession, merge shards with Merge, and call Analyze
+// once at the end.
+type TrialAcc struct {
+	Filter  AnalysisFilter
+	Schemes map[string]*SchemeAcc
+}
+
+// NewTrialAcc returns an empty accumulator for the given filter.
+func NewTrialAcc(filter AnalysisFilter) *TrialAcc {
+	return &TrialAcc{Filter: filter, Schemes: make(map[string]*SchemeAcc)}
+}
+
+// scheme returns (creating if needed) the accumulator for a scheme name.
+func (t *TrialAcc) scheme(name string) *SchemeAcc {
+	a, ok := t.Schemes[name]
+	if !ok {
+		a = &SchemeAcc{Name: name}
+		t.Schemes[name] = a
+	}
+	return a
+}
+
+// AddSession folds one session's streams into the accumulator, applying the
+// paper's eligibility exclusions and the filter. The session itself can be
+// discarded afterwards.
+func (t *TrialAcc) AddSession(sess *SessionResult) {
+	a := t.scheme(sess.Scheme)
+	a.Sessions++
+	a.Duration.AddUnit(sess.Duration)
+	for _, s := range sess.Streams {
+		a.Streams++
+		switch {
+		case s.BadDecoder:
+			a.BadDecoder++
+			continue
+		case s.NeverPlayed:
+			a.NeverPlayed++
+			continue
+		case s.WatchTime() < 4:
+			a.ShortWatch++
+			continue
+		}
+		if t.Filter == SlowPaths && !s.SlowPath() {
+			continue
+		}
+		a.Considered++
+		a.Points.Add(stats.StreamPoint{Watch: s.WatchTime(), Stall: s.StallTime})
+		a.SSIM.Add(s.SSIMMean, s.WatchTime())
+		if s.Chunks > 1 {
+			a.VarSum += s.SSIMVar
+			a.VarN++
+		}
+		if s.MeanBitrate > 0 {
+			a.BrSum += s.MeanBitrate
+			a.BrN++
+		}
+		a.Startup.AddUnit(s.StartupDelay)
+		a.FirstSSIM.AddUnit(s.FirstChunkSSIM)
+	}
+}
+
+// Merge folds another trial accumulator into this one. Callers must merge in
+// a deterministic order (shard order, day order) for reproducible results.
+func (t *TrialAcc) Merge(o *TrialAcc) {
+	for _, name := range sortedSchemeNames(o.Schemes) {
+		t.scheme(name).Merge(o.Schemes[name])
+	}
+}
+
+// Analyze runs the merge-then-bootstrap path: per-scheme statistics with
+// bootstrap confidence intervals over the accumulated streams. The bootstrap
+// RNG is seeded per (seed, scheme name) so analyses are reproducible and
+// every scheme's resampling is independent.
+func (t *TrialAcc) Analyze(seed int64) []SchemeStats {
+	names := sortedSchemeNames(t.Schemes)
+	out := make([]SchemeStats, 0, len(names))
+	for _, name := range names {
+		a := t.Schemes[name]
+		st := SchemeStats{
+			Name:     name,
+			Sessions: a.Sessions, Streams: a.Streams,
+			NeverPlayed: a.NeverPlayed, ShortWatch: a.ShortWatch,
+			BadDecoder: a.BadDecoder, Considered: a.Considered,
+			WatchYears: a.Points.StreamYears(),
+		}
+		rng := rand.New(rand.NewSource(mix(seed, nameSeed(name))))
+		st.StallRatio = a.Points.Bootstrap(rng, 400, 0.95)
+		st.SSIM = a.SSIM.Interval(0.95)
+		if a.VarN > 0 {
+			st.SSIMVar = a.VarSum / float64(a.VarN)
+		}
+		if a.BrN > 0 {
+			st.MeanBitrate = a.BrSum / float64(a.BrN)
+		}
+		st.MeanStartup = a.Startup.Interval(0.95)
+		st.MeanFirstSSIM = a.FirstSSIM.Interval(0.95)
+		st.MeanDuration = a.Duration.Interval(0.95)
+		out = append(out, st)
+	}
+	return out
+}
+
+// sortedSchemeNames returns map keys in deterministic (sorted) order.
+func sortedSchemeNames(m map[string]*SchemeAcc) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -3,10 +3,12 @@ package experiment
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"puffer/internal/abr"
 	"puffer/internal/core"
+	"puffer/internal/telemetry"
 )
 
 func bbaScheme() Scheme {
@@ -316,6 +318,157 @@ func TestDatasetCollectorMerge(t *testing.T) {
 	d := a.Dataset()
 	if len(d.Streams) != 2 {
 		t.Fatalf("merged dataset has %d streams, want 2", len(d.Streams))
+	}
+}
+
+// TestBootstrapSeedIndependentOfNameLength is the regression test for the
+// bootstrap-seeding bug: the RNG seed used to derive from len(name), giving
+// equal-length scheme names (e.g. "BBA" vs "MPC") identical bootstrap RNGs.
+func TestBootstrapSeedIndependentOfNameLength(t *testing.T) {
+	pairs := [][2]string{{"BBA", "MPC"}, {"MPC-HM", "Fugu-X"}, {"AAA", "AAB"}}
+	for _, p := range pairs {
+		if len(p[0]) != len(p[1]) {
+			t.Fatalf("test pair %v must have equal lengths", p)
+		}
+		if nameSeed(p[0]) == nameSeed(p[1]) {
+			t.Fatalf("equal-length names %q and %q share a bootstrap seed", p[0], p[1])
+		}
+	}
+	if nameSeed("Fugu") != nameSeed("Fugu") {
+		t.Fatal("nameSeed not deterministic")
+	}
+}
+
+// TestAnalyzeEqualLengthSchemesBootstrapIndependently checks the observable
+// symptom: two arms with byte-identical stream populations and equal-length
+// names must not produce identical bootstrap intervals (they did before the
+// fix, because their resampling RNGs were the same).
+func TestAnalyzeEqualLengthSchemesBootstrapIndependently(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	res := &Result{}
+	for i := 0; i < 40; i++ {
+		// One eligible stream per session with stream-correlated stalls so
+		// resampling has variance to express.
+		stream := telemetry.StreamSummary{
+			PlayTime: 60 + rng.ExpFloat64()*200, StallTime: rng.ExpFloat64() * 3,
+			Chunks: 30, SSIMMean: 14, MeanBitrate: 4e6, PathMeanRate: 8e6,
+		}
+		for _, name := range []string{"AAA", "BBB"} {
+			res.Sessions = append(res.Sessions, SessionResult{
+				SessionID: i, Scheme: name, Duration: 300,
+				Streams: []telemetry.StreamSummary{stream},
+			})
+		}
+	}
+	st := Analyze(res, AllPaths, 7)
+	if len(st) != 2 {
+		t.Fatalf("got %d scheme rows", len(st))
+	}
+	if st[0].StallRatio.Point != st[1].StallRatio.Point {
+		t.Fatalf("identical populations must share the point estimate: %v vs %v",
+			st[0].StallRatio.Point, st[1].StallRatio.Point)
+	}
+	if st[0].StallRatio.Lo == st[1].StallRatio.Lo && st[0].StallRatio.Hi == st[1].StallRatio.Hi {
+		t.Fatalf("equal-length arms drew identical bootstrap intervals %+v — shared RNG", st[0].StallRatio)
+	}
+}
+
+// TestAnalyzeAggregatesByteIdenticalAcrossWorkers: the full analysis (every
+// interval endpoint included) must not depend on scheduling.
+func TestAnalyzeAggregatesByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme(), mpcScheme()},
+		Sessions: 60, Seed: 77,
+	}
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(serial, AllPaths, 3)
+	b := Analyze(parallel, AllPaths, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("aggregates differ between 1 and 8 workers:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestTrialAccMergeMatchesAnalyze: folding sessions through sharded
+// accumulators and merging in shard order must reproduce Analyze exactly.
+func TestTrialAccMergeMatchesAnalyze(t *testing.T) {
+	cfg := Config{
+		Env: DefaultEnv(), Schemes: []Scheme{bbaScheme(), mpcScheme()},
+		Sessions: 50, Seed: 99,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Analyze(res, AllPaths, 5)
+
+	total := NewTrialAcc(AllPaths)
+	for at := 0; at < len(res.Sessions); at += 16 {
+		end := at + 16
+		if end > len(res.Sessions) {
+			end = len(res.Sessions)
+		}
+		shard := NewTrialAcc(AllPaths)
+		for i := at; i < end; i++ {
+			shard.AddSession(&res.Sessions[i])
+		}
+		total.Merge(shard)
+	}
+	got := total.Analyze(5)
+	if len(got) != len(want) {
+		t.Fatalf("scheme counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		// The per-stream series survive concatenation exactly, so every
+		// interval is byte-identical. The two running scalar sums (SSIMVar,
+		// MeanBitrate) reassociate addition across shards and may differ in
+		// the last ulps.
+		if relDiff(g.SSIMVar, w.SSIMVar) > 1e-12 || relDiff(g.MeanBitrate, w.MeanBitrate) > 1e-12 {
+			t.Fatalf("scheme %s scalar sums drifted: %+v vs %+v", g.Name, g, w)
+		}
+		g.SSIMVar, g.MeanBitrate = w.SSIMVar, w.MeanBitrate
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("sharded accumulation differs from Analyze:\n%+v\nvs\n%+v", g, w)
+		}
+	}
+}
+
+// relDiff returns |a-b| relative to max(|a|,|b|), 0 when both are 0.
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// TestDatasetCollectorMergeRoundTrips: Dataset -> Merge into an empty
+// collector -> Dataset must reproduce the original streams exactly.
+func TestDatasetCollectorMergeRoundTrips(t *testing.T) {
+	env := DefaultEnv()
+	orig, err := CollectDataset(env, []Scheme{bbaScheme()}, 20, 61, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Streams) == 0 {
+		t.Fatal("no streams collected")
+	}
+	c := NewDatasetCollector()
+	c.Merge(orig, 0)
+	back := c.Dataset()
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("Merge round trip altered the dataset: %d vs %d streams",
+			len(orig.Streams), len(back.Streams))
 	}
 }
 

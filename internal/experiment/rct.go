@@ -2,9 +2,9 @@ package experiment
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 
 	"puffer/internal/abr"
@@ -67,12 +67,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for id := range ids {
-				rng := rand.New(rand.NewSource(mix(cfg.Seed, int64(id))))
-				arm := rng.Intn(len(cfg.Schemes))
-				scheme := cfg.Schemes[arm]
-				alg := scheme.New()
-				env := cfg.Env
-				results[id] = RunSession(&env, alg, rng, id, scheme.Name, cfg.Day, cfg.Recorder)
+				results[id] = cfg.RunOne(id)
 			}
 		}()
 	}
@@ -84,6 +79,20 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{Sessions: results}, nil
 }
 
+// RunOne simulates session `id` of the trial: the session's own
+// deterministic RNG makes the blinded arm assignment as its first draw, then
+// drives the simulation. Results depend only on (Config, id), so callers may
+// run ids in any order or partition — the sharded runner uses this to fold
+// sessions into per-shard accumulators without materializing a full Result.
+func (cfg *Config) RunOne(id int) SessionResult {
+	rng := rand.New(rand.NewSource(mix(cfg.Seed, int64(id))))
+	arm := rng.Intn(len(cfg.Schemes))
+	scheme := cfg.Schemes[arm]
+	alg := scheme.New()
+	env := cfg.Env
+	return RunSession(&env, alg, rng, id, scheme.Name, cfg.Day, cfg.Recorder)
+}
+
 // mix hashes (seed, id) into an independent RNG seed (splitmix64 finalizer).
 func mix(seed, id int64) int64 {
 	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id) + 0x9E3779B97F4A7C15
@@ -91,6 +100,16 @@ func mix(seed, id int64) int64 {
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
 	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// nameSeed hashes a scheme name into RNG-seed material. Analysis code mixes
+// this with the caller's seed so every scheme gets an independent bootstrap
+// RNG; hashing the content (FNV-1a) rather than anything as coarse as the
+// name's length keeps equal-length names (e.g. "BBA" vs "MPC") independent.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
 }
 
 // SchemeStats is one row of the paper's Figure 1 / Figure 8 analysis.
@@ -134,97 +153,15 @@ const (
 )
 
 // Analyze computes per-scheme statistics from a trial result. Bootstrap
-// uses the given seed so analyses are reproducible.
+// uses the given seed so analyses are reproducible. It is a thin wrapper
+// over the mergeable-accumulator path: fold every session into a TrialAcc,
+// then merge-then-bootstrap.
 func Analyze(res *Result, filter AnalysisFilter, seed int64) []SchemeStats {
-	bySch := map[string]*SchemeStats{}
-	order := []string{}
-	get := func(name string) *SchemeStats {
-		if s, ok := bySch[name]; ok {
-			return s
-		}
-		s := &SchemeStats{Name: name}
-		bySch[name] = s
-		order = append(order, name)
-		return s
+	t := NewTrialAcc(filter)
+	for i := range res.Sessions {
+		t.AddSession(&res.Sessions[i])
 	}
-
-	type acc struct {
-		points     []stats.StreamPoint
-		ssims      []float64
-		ssimW      []float64
-		varSum     float64
-		varN       int
-		brSum      float64
-		brN        int
-		startups   []float64
-		firstSSIMs []float64
-		durations  []float64
-	}
-	accs := map[string]*acc{}
-
-	for _, sess := range res.Sessions {
-		st := get(sess.Scheme)
-		st.Sessions++
-		a := accs[sess.Scheme]
-		if a == nil {
-			a = &acc{}
-			accs[sess.Scheme] = a
-		}
-		a.durations = append(a.durations, sess.Duration)
-		for _, s := range sess.Streams {
-			st.Streams++
-			switch {
-			case s.BadDecoder:
-				st.BadDecoder++
-				continue
-			case s.NeverPlayed:
-				st.NeverPlayed++
-				continue
-			case s.WatchTime() < 4:
-				st.ShortWatch++
-				continue
-			}
-			if filter == SlowPaths && !s.SlowPath() {
-				continue
-			}
-			st.Considered++
-			st.WatchYears += s.WatchTime() / (365.25 * 24 * 3600)
-			a.points = append(a.points, stats.StreamPoint{Watch: s.WatchTime(), Stall: s.StallTime})
-			a.ssims = append(a.ssims, s.SSIMMean)
-			a.ssimW = append(a.ssimW, s.WatchTime())
-			if s.Chunks > 1 {
-				a.varSum += s.SSIMVar
-				a.varN++
-			}
-			if s.MeanBitrate > 0 {
-				a.brSum += s.MeanBitrate
-				a.brN++
-			}
-			a.startups = append(a.startups, s.StartupDelay)
-			a.firstSSIMs = append(a.firstSSIMs, s.FirstChunkSSIM)
-		}
-	}
-
-	sort.Strings(order)
-	out := make([]SchemeStats, 0, len(order))
-	for _, name := range order {
-		st := bySch[name]
-		a := accs[name]
-		rng := rand.New(rand.NewSource(mix(seed, int64(len(name)))))
-		st.StallRatio = stats.BootstrapStallRatio(rng, a.points, 400, 0.95)
-		st.SSIM = stats.WeightedMeanSE(a.ssims, a.ssimW, 0.95)
-		if a.varN > 0 {
-			st.SSIMVar = a.varSum / float64(a.varN)
-		}
-		if a.brN > 0 {
-			st.MeanBitrate = a.brSum / float64(a.brN)
-		}
-		st.MeanStartup = stats.MeanSE(a.startups, 0.95)
-		st.MeanFirstSSIM = stats.MeanSE(a.firstSSIMs, 0.95)
-		st.MeanDuration = stats.MeanSE(a.durations, 0.95)
-		out = append(out, *st)
-	}
-	return out
+	return t.Analyze(seed)
 }
 
 // SessionDurations returns per-scheme session durations (seconds) for CCDF

@@ -9,12 +9,12 @@ package figures
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"puffer/internal/abr"
 	"puffer/internal/core"
 	"puffer/internal/experiment"
 	"puffer/internal/pensieve"
+	"puffer/internal/runner"
 )
 
 // Suite holds the trained models and cached experiment results shared by
@@ -58,7 +58,7 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 		collectSessions = 150
 	}
 
-	logf("training in-situ TTP (two rounds, %d sessions each)...", collectSessions)
+	logf("training in-situ TTP (two-day continual loop, %d sessions/day)...", collectSessions)
 	insituTTP, insituData, err := trainTTPInEnv(experiment.DefaultEnv(), collectSessions, seed+1, logf)
 	if err != nil {
 		return nil, fmt.Errorf("figures: in-situ TTP: %w", err)
@@ -66,7 +66,7 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 	s.InSituTTP = insituTTP
 	s.insituDat = insituData
 
-	logf("training emulation TTP (two rounds, %d sessions each)...", collectSessions)
+	logf("training emulation TTP (two-day continual loop, %d sessions/day)...", collectSessions)
 	emuTTP, _, err := trainTTPInEnv(experiment.EmulationEnv(), collectSessions, seed+3, logf)
 	if err != nil {
 		return nil, fmt.Errorf("figures: emulation TTP: %w", err)
@@ -83,50 +83,37 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 	return s, nil
 }
 
-// behaviorSchemes is the bootstrap data-collection mixture: the classical
-// schemes Puffer ran from day one, with light exploration for off-policy
-// coverage of the (state, chunk size) space.
+// behaviorSchemes is the bootstrap data-collection mixture, shared with the
+// continual runner: the classical schemes Puffer ran from day one, with
+// light exploration for off-policy coverage of the (state, chunk size)
+// space.
 func behaviorSchemes(seed int64) []experiment.Scheme {
-	return []experiment.Scheme{
-		{Name: "BBA", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewBBA(), 0.15, seed) }},
-		{Name: "MPC-HM", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewMPCHM(), 0.10, seed+1) }},
-		{Name: "RobustMPC-HM", New: func() abr.Algorithm { return abr.NewRobustMPCHM() }},
-	}
+	return runner.BootstrapSchemes(seed)
 }
 
-// trainTTPInEnv reproduces the in-situ training loop in a given environment:
-// bootstrap telemetry from the classical schemes, train a first TTP, deploy
-// that Fugu to gather telemetry from its own decisions (as the live
-// deployment does continuously), and retrain on the union.
+// trainTTPInEnv reproduces the in-situ training loop in a given environment
+// by running the continual-experiment runner for two days: day 0 collects
+// bootstrap telemetry from the classical schemes and trains a first TTP
+// overnight; day 1 deploys that Fugu to gather telemetry from its own
+// decisions (as the live deployment does continuously) and the nightly phase
+// retrains on both days. Figures and the daily loop share this one engine.
 func trainTTPInEnv(env experiment.Env, sessions int, seed int64, logf func(string, ...any)) (*core.TTP, *core.Dataset, error) {
-	round1, err := experiment.CollectDataset(env, behaviorSchemes(seed), sessions, seed, 0)
+	cfg := trainCfg(seed)
+	cfg.RecencyBase = 1 // both days weighted equally when bootstrapping
+	res, err := runner.Run(runner.Config{
+		Env:            env,
+		Days:           2,
+		SessionsPerDay: sessions,
+		WindowDays:     2,
+		Seed:           seed,
+		Retrain:        true,
+		Train:          cfg,
+		Logf:           func(format string, args ...any) { logf("  "+format, args...) },
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("round-1 collection: %w", err)
+		return nil, nil, err
 	}
-	logf("  round 1: %d chunks", round1.NumChunks())
-	ttp0 := core.NewTTP(rand.New(rand.NewSource(seed)), core.DefaultHorizon, nil, core.DefaultFeatures(), core.KindTransTime)
-	if _, err := core.Train(ttp0, round1, trainCfg(seed)); err != nil {
-		return nil, nil, fmt.Errorf("round-1 training: %w", err)
-	}
-
-	fuguMix := []experiment.Scheme{
-		{Name: "Fugu", New: func() abr.Algorithm { return abr.NewExplorer(core.NewFugu(ttp0), 0.05, seed+2) }},
-		{Name: "BBA", New: func() abr.Algorithm { return abr.NewBBA() }},
-	}
-	round2, err := experiment.CollectDataset(env, fuguMix, sessions, seed+1, 1)
-	if err != nil {
-		return nil, nil, fmt.Errorf("round-2 collection: %w", err)
-	}
-	logf("  round 2 (Fugu in the mix): %d chunks", round2.NumChunks())
-
-	merged := &core.Dataset{Streams: append(append([]core.StreamObs{}, round1.Streams...), round2.Streams...)}
-	ttp := core.NewTTP(rand.New(rand.NewSource(seed+3)), core.DefaultHorizon, nil, core.DefaultFeatures(), core.KindTransTime)
-	cfg := trainCfg(seed + 3)
-	cfg.RecencyBase = 1 // both rounds weighted equally when bootstrapping
-	if _, err := core.Train(ttp, merged, cfg); err != nil {
-		return nil, nil, fmt.Errorf("round-2 training: %w", err)
-	}
-	return ttp, merged, nil
+	return res.TTP, res.Data, nil
 }
 
 func trainCfg(seed int64) core.TrainConfig {

@@ -1,0 +1,229 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+)
+
+// Checkpoint layout: <dir>/manifest.json pins the run parameters that shape
+// results; each completed day owns <dir>/day_NNN/ holding
+//
+//	stats.json    — the day's DayStats (human-readable record)
+//	acc.gob       — the day's merged TrialAcc (exact accumulator state)
+//	telemetry.gob — the day's Dataset (rebuilds the sliding window)
+//	ttp.model     — the model serving the NEXT day (post-nightly rotation)
+//
+// A day directory is written under a dot-prefixed temp name and committed
+// with a single rename, so a kill mid-checkpoint leaves either a complete
+// day or no day. Gob and Go's JSON both round-trip float64 exactly, which is
+// what makes resumed runs byte-identical to uninterrupted ones.
+
+const (
+	manifestFile  = "manifest.json"
+	statsFile     = "stats.json"
+	accFile       = "acc.gob"
+	telemetryFile = "telemetry.gob"
+	modelFile     = "ttp.model"
+)
+
+// manifest pins the config fields that determine results. Workers is
+// deliberately absent: it only changes scheduling. The environment is
+// pinned by its observable identity (path family plus clip replay), which
+// distinguishes the deployment and emulation worlds.
+type manifest struct {
+	EnvPaths       string
+	EnvClip        bool
+	SessionsPerDay int
+	WindowDays     int
+	ShardSize      int
+	Seed           int64
+	Retrain        bool
+	Hidden         []int
+	Horizon        int
+	Train          core.TrainConfig
+}
+
+func (cfg *Config) manifest() manifest {
+	m := manifest{
+		EnvClip:        cfg.Env.Clip != nil,
+		SessionsPerDay: cfg.SessionsPerDay,
+		WindowDays:     cfg.WindowDays,
+		ShardSize:      cfg.ShardSize,
+		Seed:           cfg.Seed,
+		Retrain:        cfg.Retrain,
+		Hidden:         cfg.Hidden,
+		Horizon:        cfg.Horizon,
+		Train:          cfg.Train,
+	}
+	if cfg.Env.Paths != nil {
+		m.EnvPaths = cfg.Env.Paths.Name()
+	}
+	return m
+}
+
+func dayDir(root string, day int) string {
+	return filepath.Join(root, fmt.Sprintf("day_%03d", day))
+}
+
+// resume loads completed days from the checkpoint directory, rebuilding the
+// pooled accumulator, the sliding telemetry window, and the model slot. It
+// returns the first day that still needs to run.
+func (r *state) resume() (int, error) {
+	root := r.cfg.CheckpointDir
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return 0, fmt.Errorf("runner: creating checkpoint dir: %w", err)
+	}
+	if err := r.checkManifest(); err != nil {
+		return 0, err
+	}
+	// Sweep partial writes from a killed checkpoint.
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return 0, fmt.Errorf("runner: reading checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			if err := os.RemoveAll(filepath.Join(root, e.Name())); err != nil {
+				return 0, fmt.Errorf("runner: sweeping %s: %w", e.Name(), err)
+			}
+		}
+	}
+
+	day := 0
+	for ; day < r.cfg.Days; day++ {
+		dir := dayDir(root, day)
+		if _, err := os.Stat(dir); err != nil {
+			break
+		}
+		ds, acc, data, model, err := loadDay(dir)
+		if err != nil {
+			return 0, fmt.Errorf("runner: loading checkpointed day %d: %w", day, err)
+		}
+		if ds.Day != day {
+			return 0, fmt.Errorf("runner: checkpoint %s claims day %d", dir, ds.Day)
+		}
+		if model != nil {
+			r.slot.Store(model)
+		}
+		r.finishDay(ds, acc, data)
+	}
+	return day, nil
+}
+
+// checkManifest writes the manifest on first use and rejects resumes whose
+// config would silently change the results of already-checkpointed days.
+func (r *state) checkManifest() error {
+	path := filepath.Join(r.cfg.CheckpointDir, manifestFile)
+	want := r.cfg.manifest()
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		blob, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return fmt.Errorf("runner: encoding manifest: %w", err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return fmt.Errorf("runner: writing manifest: %w", err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runner: reading manifest: %w", err)
+	}
+	var got manifest
+	if err := json.Unmarshal(raw, &got); err != nil {
+		return fmt.Errorf("runner: decoding manifest: %w", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		return fmt.Errorf("runner: checkpoint dir %s was created with different parameters (%+v vs %+v); use a fresh dir",
+			r.cfg.CheckpointDir, got, want)
+	}
+	return nil
+}
+
+// checkpointDay atomically commits one completed day.
+func (r *state) checkpointDay(ds DayStats, acc *experiment.TrialAcc, data *core.Dataset) error {
+	root := r.cfg.CheckpointDir
+	tmp := filepath.Join(root, fmt.Sprintf(".tmp-day_%03d", ds.Day))
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("runner: clearing temp dir: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("runner: creating temp dir: %w", err)
+	}
+
+	blob, err := json.MarshalIndent(ds, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding day stats: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, statsFile), blob, 0o644); err != nil {
+		return fmt.Errorf("runner: writing day stats: %w", err)
+	}
+
+	var accBuf bytes.Buffer
+	if err := gob.NewEncoder(&accBuf).Encode(acc); err != nil {
+		return fmt.Errorf("runner: encoding accumulator: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, accFile), accBuf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("runner: writing accumulator: %w", err)
+	}
+
+	if err := data.SaveFile(filepath.Join(tmp, telemetryFile)); err != nil {
+		return err
+	}
+	if model := r.slot.Load(); model != nil {
+		if err := model.SaveFile(filepath.Join(tmp, modelFile)); err != nil {
+			return err
+		}
+	}
+
+	if err := os.Rename(tmp, dayDir(root, ds.Day)); err != nil {
+		return fmt.Errorf("runner: committing day %d: %w", ds.Day, err)
+	}
+	return nil
+}
+
+// loadDay reads one committed day. The model may be absent only if the day
+// was checkpointed before any model existed (impossible in the current loop,
+// but tolerated for forward compatibility).
+func loadDay(dir string) (DayStats, *experiment.TrialAcc, *core.Dataset, *core.TTP, error) {
+	var ds DayStats
+	raw, err := os.ReadFile(filepath.Join(dir, statsFile))
+	if err != nil {
+		return ds, nil, nil, nil, err
+	}
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		return ds, nil, nil, nil, fmt.Errorf("decoding %s: %w", statsFile, err)
+	}
+
+	accRaw, err := os.ReadFile(filepath.Join(dir, accFile))
+	if err != nil {
+		return ds, nil, nil, nil, err
+	}
+	acc := experiment.NewTrialAcc(experiment.AllPaths)
+	if err := gob.NewDecoder(bytes.NewReader(accRaw)).Decode(acc); err != nil {
+		return ds, nil, nil, nil, fmt.Errorf("decoding %s: %w", accFile, err)
+	}
+
+	data, err := core.LoadDatasetFile(filepath.Join(dir, telemetryFile))
+	if err != nil {
+		return ds, nil, nil, nil, err
+	}
+
+	var model *core.TTP
+	if _, err := os.Stat(filepath.Join(dir, modelFile)); err == nil {
+		model, err = core.LoadFile(filepath.Join(dir, modelFile))
+		if err != nil {
+			return ds, nil, nil, nil, err
+		}
+	}
+	return ds, acc, data, model, nil
+}

@@ -1,0 +1,366 @@
+// Package runner implements the paper's defining mechanism as a first-class
+// subsystem: the in-situ continual-experiment loop. Each simulated day runs
+// a randomized trial with the currently-deployed schemes while telemetry is
+// recorded; a nightly phase warm-start-retrains the TTP on a sliding window
+// of recent days and atomically rotates the new model into the Fugu arm for
+// the next day (§4.3's "retrained every day, on data collected from its own
+// deployment").
+//
+// Days are sharded: a worker pool folds each shard's sessions into private
+// mergeable accumulators (experiment.TrialAcc) that merge in shard order, so
+// aggregation streams over sessions — at most one SessionResult per worker
+// is ever materialized, and bootstrap confidence intervals are computed once
+// on the merged state. Per-day state (model, telemetry, accumulator, stats)
+// checkpoints atomically, so a killed run resumes at the last completed day
+// with byte-identical results.
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+)
+
+// Config describes a continual experiment.
+type Config struct {
+	// Env is the world sessions run in; the zero value defaults to
+	// experiment.DefaultEnv.
+	Env experiment.Env
+	// Days is how many deployment days to simulate.
+	Days int
+	// SessionsPerDay is each day's trial size.
+	SessionsPerDay int
+	// WindowDays is the sliding retraining window W: the nightly phase
+	// trains on telemetry from the last W days (0 = all days so far).
+	WindowDays int
+	// Workers bounds shard parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize is how many sessions each worker-pool shard covers
+	// (0 = 64). Results are independent of ShardSize up to floating-point
+	// reassociation of two scalar means; fix it for bit-reproducibility.
+	ShardSize int
+	// Seed makes the whole run deterministic.
+	Seed int64
+	// Retrain enables the nightly warm-start retraining. With Retrain
+	// false the model trained after day 0 stays frozen — the paper's
+	// "Fugu-Feb" staleness ablation.
+	Retrain bool
+	// CheckpointDir persists per-day state for kill-and-resume; empty
+	// disables checkpointing.
+	CheckpointDir string
+	// Hidden are the TTP hidden-layer sizes (nil = core.DefaultHidden).
+	Hidden []int
+	// Horizon is the TTP/MPC lookahead (0 = core.DefaultHorizon).
+	Horizon int
+	// Train controls the nightly supervised training (zero value =
+	// core.DefaultTrainConfig; Train.Seed is re-derived per day).
+	Train core.TrainConfig
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DayStats is one day's record: the trial aggregate plus the nightly phase.
+type DayStats struct {
+	Day       int
+	Retrained bool
+	// Chunks is the telemetry volume collected that day.
+	Chunks int
+	// Loss and Examples report the nightly training (nil if none ran).
+	Loss     []float64
+	Examples []int
+	// Schemes is the day's per-arm analysis.
+	Schemes []experiment.SchemeStats
+}
+
+// Result is a finished (or resumed-and-finished) continual experiment.
+type Result struct {
+	Days []DayStats
+	// Total pools every day's streams per scheme: the merged accumulators
+	// analyzed once.
+	Total []experiment.SchemeStats
+	// TTP is the model after the final nightly phase.
+	TTP *core.TTP
+	// Data is the sliding-window telemetry at exit (the last WindowDays
+	// days merged in day order) — what the next nightly phase would train
+	// on, and what the figures suite evaluates predictors against.
+	Data *core.Dataset
+}
+
+// ModelSlot atomically publishes the TTP the Fugu arm serves. The nightly
+// phase stores the retrained model; session factories load it at session
+// creation, so a rotation never tears an in-flight stream.
+type ModelSlot struct {
+	p atomic.Pointer[core.TTP]
+}
+
+// Load returns the current model (nil before the first nightly phase).
+func (s *ModelSlot) Load() *core.TTP { return s.p.Load() }
+
+// Store rotates a new model in.
+func (s *ModelSlot) Store(t *core.TTP) { s.p.Store(t) }
+
+// BootstrapSchemes is the day-0 data-collection mixture: the classical
+// schemes Puffer ran from day one, with light exploration for off-policy
+// coverage of the (state, chunk size) space.
+func BootstrapSchemes(seed int64) []experiment.Scheme {
+	return []experiment.Scheme{
+		{Name: "BBA", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewBBA(), 0.15, seed) }},
+		{Name: "MPC-HM", New: func() abr.Algorithm { return abr.NewExplorer(abr.NewMPCHM(), 0.10, seed+1) }},
+		{Name: "RobustMPC-HM", New: func() abr.Algorithm { return abr.NewRobustMPCHM() }},
+	}
+}
+
+// DeploySchemes is the steady-state mixture once a model exists: Fugu (with
+// a little exploration, so retraining keeps seeing outcomes for sizes the
+// policy would not pick) alongside BBA.
+func DeploySchemes(slot *ModelSlot, seed int64) []experiment.Scheme {
+	return []experiment.Scheme{
+		{Name: "Fugu", New: func() abr.Algorithm { return abr.NewExplorer(core.NewFugu(slot.Load()), 0.05, seed+2) }},
+		{Name: "BBA", New: func() abr.Algorithm { return abr.NewBBA() }},
+	}
+}
+
+// dayData is one day of the sliding window.
+type dayData struct {
+	day  int
+	data *core.Dataset
+}
+
+// state is one run in progress.
+type state struct {
+	cfg    Config
+	slot   ModelSlot
+	window []dayData
+	pooled *experiment.TrialAcc
+	res    *Result
+}
+
+// Run executes (or resumes) the continual experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("runner: Days = %d, must be positive", cfg.Days)
+	}
+	if cfg.SessionsPerDay <= 0 {
+		return nil, fmt.Errorf("runner: SessionsPerDay = %d, must be positive", cfg.SessionsPerDay)
+	}
+	if cfg.Env.Paths == nil {
+		cfg.Env = experiment.DefaultEnv()
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = 64
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = core.DefaultHorizon
+	}
+	if (cfg.Train == core.TrainConfig{}) {
+		cfg.Train = core.DefaultTrainConfig()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	r := &state{
+		cfg:    cfg,
+		pooled: experiment.NewTrialAcc(experiment.AllPaths),
+		res:    &Result{},
+	}
+	start := 0
+	if cfg.CheckpointDir != "" {
+		var err error
+		start, err = r.resume()
+		if err != nil {
+			return nil, err
+		}
+		if start > 0 {
+			cfg.Logf("resumed at day %d (%d days checkpointed)", start, start)
+		}
+	}
+
+	for day := start; day < cfg.Days; day++ {
+		ds, acc, data, err := r.liveDay(day)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CheckpointDir != "" {
+			if err := r.checkpointDay(ds, acc, data); err != nil {
+				return nil, err
+			}
+		}
+		r.finishDay(ds, acc, data)
+	}
+
+	r.res.Total = r.pooled.Analyze(totalAnalysisSeed(cfg.Seed))
+	r.res.TTP = r.slot.Load()
+	r.res.Data = mergeWindow(r.window)
+	return r.res, nil
+}
+
+// liveDay simulates day `day` and runs its nightly phase.
+func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset, error) {
+	cfg := r.cfg
+	schemes := DeploySchemes(&r.slot, daySeed(cfg.Seed, day))
+	if r.slot.Load() == nil {
+		schemes = BootstrapSchemes(daySeed(cfg.Seed, day))
+	}
+	col := experiment.NewDatasetCollector()
+	trial := experiment.Config{
+		Env:      cfg.Env,
+		Schemes:  schemes,
+		Sessions: cfg.SessionsPerDay,
+		Seed:     daySeed(cfg.Seed, day),
+		Day:      day,
+		Recorder: col,
+	}
+	acc, err := runDaySharded(&trial, cfg.ShardSize, cfg.Workers)
+	if err != nil {
+		return DayStats{}, nil, nil, err
+	}
+	data := col.Dataset()
+	ds := DayStats{
+		Day:     day,
+		Chunks:  data.NumChunks(),
+		Schemes: acc.Analyze(dayAnalysisSeed(cfg.Seed, day)),
+	}
+	cfg.Logf("day %d: %d sessions, %d chunks of telemetry", day, cfg.SessionsPerDay, ds.Chunks)
+
+	// Nightly phase: bootstrap-train on day 0, warm-start-retrain when
+	// continual retraining is on; the frozen ablation keeps serving the
+	// day-0 model.
+	if r.slot.Load() == nil || cfg.Retrain {
+		tr, model, err := r.nightlyTrain(day, data)
+		if err != nil {
+			return DayStats{}, nil, nil, err
+		}
+		ds.Retrained = true
+		ds.Loss, ds.Examples = tr.Loss, tr.Examples
+		r.slot.Store(model)
+		cfg.Logf("  nightly retrain: %d examples (step 0), final loss %.3f nats", tr.Examples[0], tr.Loss[0])
+	}
+	return ds, acc, data, nil
+}
+
+// finishDay folds a completed day into the run's rolling state.
+func (r *state) finishDay(ds DayStats, acc *experiment.TrialAcc, data *core.Dataset) {
+	r.res.Days = append(r.res.Days, ds)
+	r.pooled.Merge(acc)
+	r.window = trimWindow(append(r.window, dayData{day: ds.Day, data: data}), ds.Day, r.cfg.WindowDays)
+}
+
+// trimWindow drops telemetry older than the sliding window of `windowDays`
+// ending at `day` (0 = keep everything).
+func trimWindow(win []dayData, day, windowDays int) []dayData {
+	if windowDays <= 0 {
+		return win
+	}
+	keepFrom := day - windowDays + 1
+	for len(win) > 0 && win[0].day < keepFrom {
+		win = win[1:]
+	}
+	return win
+}
+
+// mergeWindow merges a window in day order. The merged dataset is what the
+// nightly phase trains on; day stamps survive so the training config's
+// recency weighting sees true ages.
+func mergeWindow(win []dayData) *core.Dataset {
+	d := &core.Dataset{}
+	for _, w := range win {
+		d.Streams = append(d.Streams, w.data.Streams...)
+	}
+	return d
+}
+
+// nightlyTrain trains the next day's model on the sliding window including
+// today: warm-started from the current model, or cold on day 0. The rolling
+// window itself is updated later (finishDay, after checkpointing), so
+// today's telemetry joins a local copy here.
+func (r *state) nightlyTrain(day int, today *core.Dataset) (core.TrainResult, *core.TTP, error) {
+	win := append(append([]dayData{}, r.window...), dayData{day: day, data: today})
+	data := mergeWindow(trimWindow(win, day, r.cfg.WindowDays))
+
+	var model *core.TTP
+	if cur := r.slot.Load(); cur != nil {
+		model = cur.Clone()
+	} else {
+		rng := rand.New(rand.NewSource(mix2(r.cfg.Seed, -1)))
+		model = core.NewTTP(rng, r.cfg.Horizon, r.cfg.Hidden, core.DefaultFeatures(), core.KindTransTime)
+	}
+	tc := r.cfg.Train
+	tc.Seed = trainSeed(r.cfg.Seed, day)
+	tr, err := core.Train(model, data, tc)
+	if err != nil {
+		return tr, nil, fmt.Errorf("runner: nightly training after day %d: %w", day, err)
+	}
+	return tr, model, nil
+}
+
+// runDaySharded shards the day's sessions across a worker pool. Each shard
+// folds its sessions into a private TrialAcc — one live SessionResult per
+// worker, never a materialized day — and shards merge in shard order so the
+// aggregate is independent of scheduling.
+func runDaySharded(trial *experiment.Config, shardSize, workers int) (*experiment.TrialAcc, error) {
+	if len(trial.Schemes) == 0 {
+		return nil, fmt.Errorf("runner: no schemes configured")
+	}
+	nShards := (trial.Sessions + shardSize - 1) / shardSize
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+	accs := make([]*experiment.TrialAcc, nShards)
+	shards := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shards {
+				acc := experiment.NewTrialAcc(experiment.AllPaths)
+				lo := s * shardSize
+				hi := lo + shardSize
+				if hi > trial.Sessions {
+					hi = trial.Sessions
+				}
+				for id := lo; id < hi; id++ {
+					sess := trial.RunOne(id)
+					acc.AddSession(&sess)
+				}
+				accs[s] = acc
+			}
+		}()
+	}
+	for s := 0; s < nShards; s++ {
+		shards <- s
+	}
+	close(shards)
+	wg.Wait()
+
+	total := experiment.NewTrialAcc(experiment.AllPaths)
+	for _, acc := range accs {
+		total.Merge(acc)
+	}
+	return total, nil
+}
+
+// Seed derivations: every per-day RNG gets independent seed material via the
+// splitmix64 finalizer, mirroring the experiment package's mix.
+func mix2(seed, id int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+func daySeed(seed int64, day int) int64         { return mix2(seed, int64(3*day+1)) }
+func trainSeed(seed int64, day int) int64       { return mix2(seed, int64(3*day+2)) }
+func dayAnalysisSeed(seed int64, day int) int64 { return mix2(seed, int64(3*day+3)) }
+func totalAnalysisSeed(seed int64) int64        { return mix2(seed, -2) }

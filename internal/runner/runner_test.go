@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+)
+
+// testConfig is a small-but-real continual experiment: enough sessions for
+// telemetry to train on, tiny nets so the nightly phase is fast.
+func testConfig(seed int64) Config {
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	return Config{
+		Env:            experiment.DefaultEnv(),
+		Days:           2,
+		SessionsPerDay: 16,
+		WindowDays:     2,
+		ShardSize:      4,
+		Seed:           seed,
+		Retrain:        true,
+		Hidden:         []int{8},
+		Horizon:        2,
+		Train:          tc,
+	}
+}
+
+// fingerprint reduces a Result to comparable bytes: day records, pooled
+// totals, and the final model's serialized form.
+func fingerprint(t *testing.T, res *Result) []byte {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Days  []DayStats
+		Total []experiment.SchemeStats
+	}{res.Days, res.Total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var model bytes.Buffer
+	if res.TTP != nil {
+		if err := res.TTP.Save(&model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return append(blob, model.Bytes()...)
+}
+
+func TestRunnerProducesDaysAndModel(t *testing.T) {
+	res, err := Run(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 2 {
+		t.Fatalf("got %d day records, want 2", len(res.Days))
+	}
+	if !res.Days[0].Retrained || !res.Days[1].Retrained {
+		t.Fatal("retraining runner must retrain every night")
+	}
+	if res.TTP == nil {
+		t.Fatal("no final model")
+	}
+	if res.Data == nil || res.Data.NumChunks() == 0 {
+		t.Fatal("no sliding-window telemetry in result")
+	}
+	if len(res.Total) == 0 {
+		t.Fatal("no pooled scheme stats")
+	}
+	// Day 0 is the classical bootstrap mixture; day 1 deploys Fugu.
+	names := map[string]bool{}
+	for _, s := range res.Days[1].Schemes {
+		names[s.Name] = true
+	}
+	if !names["Fugu"] {
+		t.Fatalf("day 1 has no Fugu arm: %v", res.Days[1].Schemes)
+	}
+	for _, s := range res.Days[0].Schemes {
+		if s.Name == "Fugu" {
+			t.Fatal("day 0 cannot deploy Fugu before a model exists")
+		}
+	}
+}
+
+// TestRunnerDeterministicAcrossWorkers: satellite requirement — byte-identical
+// aggregates for Workers=1 vs Workers=8.
+func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
+	a := testConfig(7)
+	a.Workers = 1
+	resA, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testConfig(7)
+	b.Workers = 8
+	resB, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := fingerprint(t, resA), fingerprint(t, resB)
+	if !bytes.Equal(fa, fb) {
+		t.Fatalf("runner results differ between 1 and 8 workers (%d vs %d bytes)", len(fa), len(fb))
+	}
+}
+
+// TestRunnerCheckpointResume: a run killed after day 1 (simulated by running
+// with Days=2 into a checkpoint dir, then asking for Days=3) must finish
+// byte-identical to an uninterrupted 3-day run.
+func TestRunnerCheckpointResume(t *testing.T) {
+	straight := testConfig(11)
+	straight.Days = 3
+	want, err := Run(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	first := testConfig(11)
+	first.Days = 2
+	first.CheckpointDir = dir
+	if _, err := Run(first); err != nil {
+		t.Fatal(err)
+	}
+	// A killed checkpoint leaves partial temp dirs; resume must sweep them.
+	if err := os.MkdirAll(filepath.Join(dir, ".tmp-day_002"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	second := testConfig(11)
+	second.Days = 3
+	second.CheckpointDir = dir
+	got, err := Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, got), fingerprint(t, want)) {
+		t.Fatal("kill-and-resume run differs from uninterrupted run")
+	}
+	for day := 0; day < 3; day++ {
+		if _, err := os.Stat(dayDir(dir, day)); err != nil {
+			t.Fatalf("day %d not checkpointed: %v", day, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-day_002")); !os.IsNotExist(err) {
+		t.Fatal("stray temp dir survived resume")
+	}
+
+	// A third invocation finds everything done and replays from disk alone.
+	replay, err := Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, replay), fingerprint(t, want)) {
+		t.Fatal("pure-replay run differs from uninterrupted run")
+	}
+}
+
+func TestRunnerManifestGuardsParameters(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(13)
+	cfg.Days = 1
+	cfg.CheckpointDir = dir
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SessionsPerDay += 8
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("resume with changed parameters must be rejected")
+	}
+	cfg.SessionsPerDay -= 8
+	cfg.Env = experiment.EmulationEnv()
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("resume in a different environment must be rejected")
+	}
+}
+
+// TestRunnerFrozenAblation: with Retrain off, only day 0 trains (the
+// bootstrap) and the model serves unchanged thereafter — the "Fugu-Feb"
+// staleness arm.
+func TestRunnerFrozenAblation(t *testing.T) {
+	cfg := testConfig(17)
+	cfg.Days = 3
+	cfg.Retrain = false
+	dir := t.TempDir()
+	cfg.CheckpointDir = dir
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Days[0].Retrained {
+		t.Fatal("day 0 must bootstrap-train even with Retrain off")
+	}
+	for _, ds := range res.Days[1:] {
+		if ds.Retrained {
+			t.Fatalf("day %d retrained despite Retrain=false", ds.Day)
+		}
+	}
+	day0, err := os.ReadFile(filepath.Join(dayDir(dir, 0), modelFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day2, err := os.ReadFile(filepath.Join(dayDir(dir, 2), modelFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(day0, day2) {
+		t.Fatal("frozen model changed between day 0 and day 2")
+	}
+}
+
+// TestRunnerSlidingWindow: result telemetry covers exactly the last W days.
+func TestRunnerSlidingWindow(t *testing.T) {
+	cfg := testConfig(19)
+	cfg.Days = 3
+	cfg.WindowDays = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Data.Streams {
+		for _, c := range s.Chunks {
+			if c.Day != 2 {
+				t.Fatalf("window of 1 day retained telemetry from day %d", c.Day)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import "math/rand"
+
+// This file holds the mergeable accumulators behind sharded aggregation:
+// shards (or days) of an experiment each fold their streams into private
+// accumulators, the accumulators are merged in a deterministic order, and
+// the bootstrap / standard-error machinery runs once on the merged state.
+// Only the per-stream tuples the estimators actually need are retained, so
+// aggregation streams over session results instead of materializing them.
+
+// StreamAcc is a mergeable accumulator of per-stream (watch, stall) points —
+// the resampling unit of the paper's §3.4 bootstrap. Exported fields make it
+// serializable (gob/JSON) for checkpointing.
+type StreamAcc struct {
+	Points []StreamPoint
+}
+
+// Add folds one stream into the accumulator.
+func (a *StreamAcc) Add(p StreamPoint) { a.Points = append(a.Points, p) }
+
+// Merge appends another accumulator's streams. Merge order must be
+// deterministic for reproducible bootstraps; callers merge shards in shard
+// order.
+func (a *StreamAcc) Merge(b *StreamAcc) { a.Points = append(a.Points, b.Points...) }
+
+// Len returns the number of accumulated streams.
+func (a *StreamAcc) Len() int { return len(a.Points) }
+
+// StallRatio returns the aggregate stall ratio of the accumulated streams.
+func (a *StreamAcc) StallRatio() float64 { return StallRatio(a.Points) }
+
+// StreamYears returns the accumulated watch time in stream-years.
+func (a *StreamAcc) StreamYears() float64 { return StreamYears(a.Points) }
+
+// Bootstrap is the merge-then-bootstrap path: a percentile-bootstrap CI on
+// the aggregate stall ratio over the merged streams. Identical to calling
+// BootstrapStallRatio on the concatenated points.
+func (a *StreamAcc) Bootstrap(rng *rand.Rand, iters int, conf float64) Interval {
+	return BootstrapStallRatio(rng, a.Points, iters, conf)
+}
+
+// WeightedAcc is a mergeable accumulator of weighted scalar samples, feeding
+// the weighted-standard-error interval used for SSIM and the unit-weight
+// means (startup delay, first-chunk SSIM, session duration).
+type WeightedAcc struct {
+	Values  []float64
+	Weights []float64
+}
+
+// Add folds one weighted sample into the accumulator.
+func (a *WeightedAcc) Add(v, w float64) {
+	a.Values = append(a.Values, v)
+	a.Weights = append(a.Weights, w)
+}
+
+// AddUnit folds one unit-weight sample into the accumulator.
+func (a *WeightedAcc) AddUnit(v float64) { a.Add(v, 1) }
+
+// Merge appends another accumulator's samples in order.
+func (a *WeightedAcc) Merge(b *WeightedAcc) {
+	a.Values = append(a.Values, b.Values...)
+	a.Weights = append(a.Weights, b.Weights...)
+}
+
+// Len returns the number of accumulated samples.
+func (a *WeightedAcc) Len() int { return len(a.Values) }
+
+// Interval returns the weighted mean with its conf-level interval over the
+// merged samples, exactly as WeightedMeanSE on the concatenated series.
+func (a *WeightedAcc) Interval(conf float64) Interval {
+	return WeightedMeanSE(a.Values, a.Weights, conf)
+}

@@ -30,6 +30,7 @@ import (
 	"puffer/internal/experiment"
 	"puffer/internal/figures"
 	"puffer/internal/pensieve"
+	"puffer/internal/runner"
 )
 
 // Re-exported types: the experiment harness.
@@ -65,6 +66,19 @@ type (
 	TrainConfig = core.TrainConfig
 	// Suite bundles trained models and regenerates the paper's figures.
 	Suite = figures.Suite
+	// DailyConfig describes a continual (multi-day, retrain-nightly)
+	// experiment.
+	DailyConfig = runner.Config
+	// DailyResult is a finished continual experiment.
+	DailyResult = runner.Result
+	// DayStats is one day's trial aggregate plus its nightly phase.
+	DayStats = runner.DayStats
+	// ModelSlot atomically publishes the TTP the Fugu arm serves.
+	ModelSlot = runner.ModelSlot
+	// SchemeAcc and TrialAcc are the mergeable accumulators behind sharded
+	// aggregation (fold sessions in, merge shards, analyze once).
+	SchemeAcc = experiment.SchemeAcc
+	TrialAcc  = experiment.TrialAcc
 )
 
 // Analysis filters (Figure 8's two panels).
@@ -164,3 +178,10 @@ func TrainPensieve(seed int64) Algorithm {
 func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) {
 	return figures.NewSuite(scale, seed, logf)
 }
+
+// RunDaily executes (or, with a checkpoint directory, resumes) the in-situ
+// continual experiment: each day runs a sharded randomized trial with the
+// currently-deployed schemes while telemetry is recorded, and a nightly
+// phase warm-start-retrains the TTP on a sliding window of recent days and
+// atomically rotates the new model into the Fugu arm for the next day.
+func RunDaily(cfg DailyConfig) (*DailyResult, error) { return runner.Run(cfg) }
