@@ -9,7 +9,11 @@ BENCH_SESSIONS ?= 40
 # Checkpoint dir for the daily-loop smoke run.
 DAILY_DIR ?= /tmp/puffer-daily-smoke
 
-.PHONY: fmt fmt-check vet build test bench daily-smoke ci
+# Session-count multiplier applied to the examples in the docs smoke run —
+# small enough that all four examples finish in seconds.
+EXAMPLE_SCALE ?= 0.1
+
+.PHONY: fmt fmt-check vet build test bench daily-smoke docs-smoke ci
 
 fmt:
 	gofmt -w .
@@ -44,4 +48,15 @@ daily-smoke:
 	$(GO) run ./cmd/puffer-daily -days 2 -sessions 40 -window 2 -epochs 2 -seed 1 -checkpoint $(DAILY_DIR) -ablation=false
 	test -d $(DAILY_DIR)/retrain/day_001
 
-ci: fmt-check vet build test bench daily-smoke
+# Docs smoke: fail if any package is missing a package doc comment
+# (cmd/doccheck), then briefly run every examples/ program end to end —
+# examples have no test files, so this is their only CI coverage.
+docs-smoke:
+	$(GO) run ./cmd/doccheck
+	PUFFER_EXAMPLE_SCALE=$(EXAMPLE_SCALE) $(GO) run ./examples/quickstart
+	PUFFER_EXAMPLE_SCALE=$(EXAMPLE_SCALE) $(GO) run ./examples/abr-tournament
+	rm -f tournament_streams.csv
+	PUFFER_EXAMPLE_SCALE=$(EXAMPLE_SCALE) $(GO) run ./examples/uncertainty
+	PUFFER_EXAMPLE_SCALE=$(EXAMPLE_SCALE) $(GO) run ./examples/insitu-vs-emulation
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke

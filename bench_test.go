@@ -325,6 +325,26 @@ func BenchmarkSec46StaleModels(b *testing.B) {
 	}
 }
 
+func BenchmarkDriftStaleness(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.FigDrift(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// rows[0] is day 1, identical by construction; day 2 is the first
+		// day the models can differ.
+		for _, r := range rows {
+			if r.Day == 2 {
+				b.ReportMetric(r.GapPP, "frozen-gap-pp-day2")
+			}
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(rows[len(rows)-1].GapPP, "frozen-gap-pp-final")
+		}
+	}
+}
+
 func BenchmarkSec53PowerAnalysis(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {

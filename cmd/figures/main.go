@@ -5,7 +5,9 @@
 //	figures -fig 8 -scale 3000
 //	figures -fig all          # everything (slow)
 //
-// Figure ids: 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, A1, 3.4, 4.6, 5.3.
+// Figure ids: 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, A1, 3.4, 4.6, 5.3, plus
+// "drift" — the staleness ablation in a nonstationary deployment (the
+// drift extension of §4.6).
 package main
 
 import (
@@ -79,6 +81,9 @@ func main() {
 		case "5.3":
 			_, err := suite.Sec53(w)
 			return err
+		case "drift":
+			_, err := suite.FigDrift(w)
+			return err
 		default:
 			return fmt.Errorf("unknown figure id %q", id)
 		}
@@ -86,7 +91,7 @@ func main() {
 
 	ids := []string{*fig}
 	if *fig == "all" {
-		ids = []string{"1", "2", "3", "4", "5", "7", "8", "9", "10", "11", "A1", "3.4", "4.6", "5.3"}
+		ids = []string{"1", "2", "3", "4", "5", "7", "8", "9", "10", "11", "A1", "3.4", "4.6", "5.3", "drift"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

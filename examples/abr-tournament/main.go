@@ -3,6 +3,9 @@
 // the style of comparison the paper's §5 tables are built from.
 //
 //	go run ./examples/abr-tournament
+//
+// Set PUFFER_EXAMPLE_SCALE (e.g. 0.2) to shrink session counts for a quick
+// smoke run.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"sort"
 
 	"puffer"
+	"puffer/examples/internal/exscale"
 	"puffer/internal/abr"
 	"puffer/internal/experiment"
 	"puffer/internal/telemetry"
@@ -27,11 +31,11 @@ func main() {
 		{Name: "BOLA", New: func() puffer.Algorithm { return abr.NewBOLA() }},
 	}
 
-	log.Println("running 600-session tournament over deployment-like paths...")
+	log.Printf("running %d-session tournament over deployment-like paths...", exscale.Scaled(600))
 	res, err := puffer.RunExperiment(puffer.Config{
 		Env:      puffer.DefaultEnv(),
 		Schemes:  schemes,
-		Sessions: 600,
+		Sessions: exscale.Scaled(600),
 		Seed:     11,
 	})
 	if err != nil {

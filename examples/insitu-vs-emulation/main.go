@@ -1,12 +1,22 @@
-// In-situ vs emulation: the paper's central lesson, in one program.
+// In-situ vs emulation: the paper's central lesson, in two acts.
 //
-// Two Transmission Time Predictors are trained identically — one on
-// telemetry from the deployment environment ("in situ"), one on telemetry
-// from the FCC-trace emulation testbed — then both Fugus are deployed on
-// the real (heavy-tailed) paths. The emulation-trained model falls apart,
-// reproducing Figure 11's middle panel.
+// Act 1 (place): two Transmission Time Predictors are trained identically —
+// one on telemetry from the deployment environment ("in situ"), one on
+// telemetry from the FCC-trace emulation testbed — then both Fugus are
+// deployed on the real (heavy-tailed) paths. The emulation-trained model
+// falls apart, reproducing Figure 11's middle panel.
+//
+// Act 2 (time): the same mismatch arises without ever leaving the
+// deployment, once the deployment refuses to stand still. Under a drifting
+// path population the continual loop's nightly retraining tracks the
+// shift, while a model frozen on day 0 is effectively "trained in a
+// different environment" within days — the frozen-vs-retrained stall gap
+// widens day over day.
 //
 //	go run ./examples/insitu-vs-emulation
+//
+// Set PUFFER_EXAMPLE_SCALE (e.g. 0.2) to shrink session counts for a quick
+// smoke run.
 package main
 
 import (
@@ -14,13 +24,14 @@ import (
 	"log"
 
 	"puffer"
+	"puffer/examples/internal/exscale"
 	"puffer/internal/core"
 )
 
 func trainIn(env puffer.Env, name string, seed int64) *puffer.TTP {
 	behavior := []puffer.Scheme{{Name: "BBA", New: puffer.NewBBA}}
 	log.Printf("collecting %s telemetry...", name)
-	data, err := puffer.CollectDataset(env, behavior, 150, seed, 0)
+	data, err := puffer.CollectDataset(env, behavior, exscale.Scaled(150), seed, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +62,7 @@ func main() {
 			}},
 			{Name: "BBA", New: puffer.NewBBA},
 		},
-		Sessions: 400,
+		Sessions: exscale.Scaled(400),
 		Seed:     21,
 	})
 	if err != nil {
@@ -65,4 +76,52 @@ func main() {
 	}
 	fmt.Println("\nThe emulation-trained predictor never saw heavy-tailed behavior,")
 	fmt.Println("so it is overconfident exactly when the real network misbehaves.")
+
+	// Act 2: a frozen model in a drifting deployment is "trained in a
+	// different environment" a few days from now.
+	sched, err := puffer.DriftPreset("shift")
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := puffer.DefaultEnv()
+	env.Paths = &puffer.DriftingSampler{Base: env.Paths, Schedule: sched}
+	train := puffer.DefaultTrainConfig()
+	train.Epochs = 4
+	daily := func(retrain bool) *puffer.DailyResult {
+		label := "frozen day-0 model"
+		if retrain {
+			label = "nightly retraining"
+		}
+		log.Printf("running 4-day drifting deployment (%s)...", label)
+		out, err := puffer.RunDaily(puffer.DailyConfig{
+			Env:            env,
+			Days:           4,
+			SessionsPerDay: exscale.Scaled(80),
+			Seed:           41,
+			Retrain:        retrain,
+			Train:          train,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+	retrained := daily(true)
+	frozen := daily(false)
+
+	fmt.Printf("\nDrifting deployment (slow-path share +30 pts/day): Fugu stall ratio by day\n")
+	fmt.Printf("%-4s %12s %12s %9s\n", "Day", "Retrained%", "Frozen%", "Gap pp")
+	for _, g := range puffer.StalenessGaps(retrained, frozen, "Fugu") {
+		if !g.Present {
+			continue
+		}
+		fmt.Printf("%-4d %11.3f%% %11.3f%% %+9.3f\n", g.Day,
+			100*g.Retrained, 100*g.Frozen, 100*g.Gap)
+	}
+	if exscale.Reduced() {
+		fmt.Println("\n(reduced-scale smoke run: per-day stall ratios are noisy at this")
+		fmt.Println("session count; run without PUFFER_EXAMPLE_SCALE for the clean separation)")
+	}
+	fmt.Println("\nSame lesson in time instead of place: training data must come from")
+	fmt.Println("the environment the model serves — and keep coming from it.")
 }

@@ -1,0 +1,28 @@
+// Package exscale lets CI's docs smoke shrink the example programs: every
+// example routes its session and resample counts through Scaled, and
+// `make docs-smoke` sets PUFFER_EXAMPLE_SCALE (e.g. 0.1) so all of
+// examples/ runs briefly while staying meaningful at full scale.
+package exscale
+
+import (
+	"os"
+	"strconv"
+)
+
+// Scaled applies the PUFFER_EXAMPLE_SCALE multiplier (default 1) to a
+// count, clamped below at 8 so reduced runs still produce output.
+func Scaled(n int) int {
+	if v := os.Getenv("PUFFER_EXAMPLE_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			n = int(float64(n) * f)
+		}
+	}
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Reduced reports whether the current run is scaled down, for examples
+// whose narration should flag noisy reduced-scale numbers.
+func Reduced() bool { return Scaled(1000) < 1000 }

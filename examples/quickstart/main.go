@@ -6,6 +6,9 @@
 // randomized experiment of Fugu against BBA.
 //
 //	go run ./examples/quickstart
+//
+// Set PUFFER_EXAMPLE_SCALE (e.g. 0.2) to shrink session counts for a quick
+// smoke run.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"log"
 
 	"puffer"
+	"puffer/examples/internal/exscale"
 )
 
 func main() {
@@ -25,8 +29,8 @@ func main() {
 	behavior := []puffer.Scheme{{Name: "BBA", New: func() puffer.Algorithm {
 		return puffer.WithExploration(puffer.NewBBA(), 0.15, 7)
 	}}}
-	log.Println("collecting telemetry (150 sessions of BBA with exploration)...")
-	data, err := puffer.CollectDataset(env, behavior, 150, 1, 0)
+	log.Printf("collecting telemetry (%d sessions of BBA with exploration)...", exscale.Scaled(150))
+	data, err := puffer.CollectDataset(env, behavior, exscale.Scaled(150), 1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,14 +46,14 @@ func main() {
 	}
 
 	// 3. Race Fugu against BBA in a blinded randomized trial.
-	log.Println("running a 200-session randomized trial: Fugu vs BBA...")
+	log.Printf("running a %d-session randomized trial: Fugu vs BBA...", exscale.Scaled(200))
 	res, err := puffer.RunExperiment(puffer.Config{
 		Env: env,
 		Schemes: []puffer.Scheme{
 			{Name: "Fugu", New: func() puffer.Algorithm { return puffer.NewFugu(ttp) }},
 			{Name: "BBA", New: puffer.NewBBA},
 		},
-		Sessions: 200,
+		Sessions: exscale.Scaled(200),
 		Seed:     3,
 	})
 	if err != nil {

@@ -6,6 +6,9 @@
 // analysis: how many streams to reliably detect a true 15% difference?
 //
 //	go run ./examples/uncertainty
+//
+// Set PUFFER_EXAMPLE_SCALE (e.g. 0.2) to shrink session and resample counts
+// for a quick smoke run.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"math/rand"
 
 	"puffer"
+	"puffer/examples/internal/exscale"
 	"puffer/internal/experiment"
 	"puffer/internal/stats"
 )
@@ -24,7 +28,7 @@ func main() {
 	res, err := puffer.RunExperiment(puffer.Config{
 		Env:      puffer.DefaultEnv(),
 		Schemes:  []puffer.Scheme{{Name: "BBA", New: puffer.NewBBA}},
-		Sessions: 500,
+		Sessions: exscale.Scaled(500),
 		Seed:     31,
 	})
 	if err != nil {
@@ -41,7 +45,7 @@ func main() {
 	rng := rand.New(rand.NewSource(32))
 	fmt.Printf("\nBootstrap 95%% CI width vs sample size (stall ratio):\n")
 	fmt.Printf("%-10s %14s %18s\n", "Streams", "Stall ratio", "Rel. half-width")
-	for _, n := range []int{500, 2000, 8000, 32000} {
+	for _, n := range []int{exscale.Scaled(500), exscale.Scaled(2000), exscale.Scaled(8000), exscale.Scaled(32000)} {
 		sample := make([]stats.StreamPoint, n)
 		for i := range sample {
 			sample[i] = pool[rng.Intn(len(pool))]
@@ -63,7 +67,7 @@ func main() {
 	}
 	meanWatch /= float64(len(pool))
 	fmt.Printf("%-10s %14s %16s\n", "Streams", "Stream-years", "Detection rate")
-	for _, n := range []int{1000, 4000, 16000, 64000} {
+	for _, n := range []int{exscale.Scaled(1000), exscale.Scaled(4000), exscale.Scaled(16000), exscale.Scaled(64000)} {
 		rate := stats.DetectionRate(rng, cfg, n, draw)
 		years := float64(n) * meanWatch / (365.25 * 24 * 3600)
 		fmt.Printf("%-10d %14.3f %16.2f\n", n, years, rate)

@@ -1,9 +1,3 @@
-// Package abr defines the adaptive-bitrate framework shared by every scheme
-// in the study: the per-decision Observation a server-side ABR algorithm
-// sees, the SSIM-based QoE objective from the paper's Equation 1, the
-// transmission-time discretization used by stochastic MPC and the TTP, and
-// the classical algorithms (BBA, MPC-HM, RobustMPC-HM, plus rate-based and
-// BOLA related-work baselines).
 package abr
 
 import (

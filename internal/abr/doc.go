@@ -1,0 +1,35 @@
+// Package abr defines the adaptive-bitrate framework shared by every scheme
+// in the study: the per-decision Observation a server-side ABR algorithm
+// sees, the SSIM-based QoE objective from the paper's Equation 1, the
+// transmission-time discretization used by stochastic MPC and the TTP, and
+// the classical algorithms the randomized trial compares Fugu against.
+//
+// The centerpiece is MPC, the model-predictive controller of §4.2: given a
+// Predictor that supplies a transmission-time distribution for each
+// candidate chunk size, it maximizes expected QoE over a receding horizon
+// by value iteration over (step, buffer, previous quality). The production
+// path is batched and factored: when the predictor implements
+// BatchPredictor, the MPC fills every candidate's distribution for a
+// horizon step in one call, hoists the prediction expectation out of the
+// previous-quality dimension, and suffix-sums the expected-stall base term.
+// The seed planner survives as MPC.ChooseReference, the differential-test
+// oracle for all of that.
+//
+// Main entry points:
+//
+//   - Algorithm: the decision interface (Choose over an Observation);
+//     Observation / ChunkRecord: the server-side state.
+//   - MPC with NewMPC / core.NewFugu: the stochastic controller; Predictor
+//     and BatchPredictor are the prediction plug points; QoEWeights is
+//     Equation 1.
+//   - NewMPCHM / NewRobustMPCHM: MPC over the harmonic-mean throughput
+//     predictor (the paper's MPC-HM / RobustMPC-HM arms);
+//     HarmonicMeanPredictor for custom controllers.
+//   - NewBBA: buffer-based control (the "simple" scheme); NewRateBased and
+//     NewBOLA: related-work baselines; Catalog lists every registered
+//     scheme.
+//   - NewExplorer: epsilon-uniform rung exploration wrapped around any
+//     scheme, used when collecting TTP training data.
+//   - BinIndex / BinValue / NumBins: the transmission-time discretization
+//     shared with the TTP.
+package abr

@@ -1,15 +1,3 @@
-// Package core implements Fugu, the paper's contribution: a Transmission
-// Time Predictor (TTP) — a small fully-connected neural network that maps
-// (recent chunk sizes and transmission times, sender-side tcp_info
-// statistics, and a proposed chunk size) to a probability distribution over
-// the chunk's transmission time — driving the stochastic MPC controller in
-// the abr package. Training is supervised, on telemetry from the deployment
-// itself ("in situ"), with daily retraining over a sliding window.
-//
-// The package also provides every ablation variant from the paper's
-// Figure 7: a point-estimate TTP, a throughput predictor that ignores the
-// proposed size, a linear model, a TTP without tcp_info inputs, and a
-// short-history TTP.
 package core
 
 import (

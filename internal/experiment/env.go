@@ -1,9 +1,3 @@
-// Package experiment implements the Puffer study itself: the per-stream
-// simulation loop (ABR decision → TCP transfer → playback buffer → viewer
-// behavior), session structure with channel changes, blinded randomized
-// assignment of sessions to schemes, CONSORT exclusion accounting, telemetry
-// collection for TTP training, and the per-scheme analysis with confidence
-// intervals.
 package experiment
 
 import (

@@ -6,6 +6,7 @@ import (
 	"puffer/internal/abr"
 	"puffer/internal/core"
 	"puffer/internal/media"
+	"puffer/internal/netem"
 	"puffer/internal/player"
 	"puffer/internal/tcpsim"
 	"puffer/internal/telemetry"
@@ -180,14 +181,16 @@ type SessionResult struct {
 
 // RunSession simulates a full session: connection setup, a channel-zapping
 // phase of short browse streams, then a main viewing stream; channel changes
-// reuse the TCP connection, as on Puffer.
+// reuse the TCP connection, as on Puffer. The experiment day reaches the
+// path sampler, so a day-aware (drifting) Env.Paths draws this session's
+// network situation from that day's distribution.
 func RunSession(env *Env, alg abr.Algorithm, rng *rand.Rand, sessionID int, scheme string, day int, rec Recorder) SessionResult {
 	res := SessionResult{SessionID: sessionID, Scheme: scheme}
 	maxDur := env.TraceDuration
 	if maxDur <= 0 {
 		maxDur = 900
 	}
-	path := env.Paths.Sample(rng, maxDur)
+	path := netem.SampleForDay(env.Paths, rng, maxDur, day)
 	conn := tcpsim.Dial(path, rng, 0)
 
 	// Browse phase: quick channel changes with short intended durations

@@ -1,9 +1,3 @@
-// Package figures regenerates every table and figure in the paper's
-// evaluation: each FigN/SecNN method runs the corresponding experiment on
-// the simulated substrate and writes the same rows/series the paper reports.
-// Absolute numbers differ (the substrate is a simulator, not the authors'
-// deployment); the shapes — who wins, by roughly what factor, where the
-// crossovers fall — are the reproduction targets, recorded in EXPERIMENTS.md.
 package figures
 
 import (
@@ -37,6 +31,7 @@ type Suite struct {
 	primary   *experiment.Result
 	emulation *experiment.Result
 	insituDat *core.Dataset
+	drift     []FigDriftRow
 }
 
 // DefaultScale is the default primary-experiment size in sessions.

@@ -1,14 +1,3 @@
-// Package media models Puffer's video back-end: a live source de-interlaced
-// into 2.002-second chunks, encoded into a ten-rung H.264 ladder (about
-// 200 kbps at 240p up to about 5,500 kbps at 1080p), with per-chunk SSIM
-// computed against the canonical source.
-//
-// Real encoders produce chunks whose compressed size and quality vary with
-// scene content even at a fixed setting (the paper's Figure 3). We reproduce
-// that with an autocorrelated scene-complexity process: each chunk draws a
-// complexity value from an AR(1) process with occasional scene cuts, and a
-// chunk's size and SSIM at every rung are deterministic functions of that
-// complexity plus small encoder noise.
 package media
 
 import (

@@ -1,17 +1,3 @@
-// Package netem models the network paths Puffer's clients sit behind.
-//
-// A Trace is a piecewise-constant bottleneck capacity over time. Three trace
-// families reproduce the distributional contrast at the heart of the paper:
-//
-//   - Puffer-like: what the deployment sees — per-session mean throughput
-//     drawn from a heavy-tailed distribution, within-session regime switching
-//     with autocorrelated variation, and occasional deep outages (the heavy
-//     tail that defeats emulator-trained models).
-//   - FCC-like: what the mahimahi emulation setup replays — bounded, smoother
-//     broadband traces with mild variation (§5.2's methodology).
-//   - CS2P-like: a small-state Markov throughput process, reproducing the
-//     discrete throughput states of CS2P's Figure 4a that Puffer does NOT
-//     observe (the paper's Figure 2 contrast).
 package netem
 
 import (

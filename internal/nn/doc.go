@@ -1,0 +1,31 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// for the paper's two learned components: the Fugu Transmission Time
+// Predictor (a per-horizon-step classifier over transmission-time bins) and
+// the Pensieve policy network. It provides fully-connected layers with ReLU
+// activations, a softmax/cross-entropy classification head or a linear/MSE
+// regression head, SGD and Adam optimizers, per-sample weighting (the
+// paper's recency-weighted training), and gob serialization.
+//
+// Inference has two paths. The scalar path (MLP.ForwardInto,
+// MLP.PredictDist with a Workspace) runs a single sample through per-layer
+// dot products. The batched path (MLP.ForwardBatchInto, MLP.PredictDistBatch
+// with a BatchWorkspace) runs B samples per call over flat row-major
+// activation matrices with a register-blocked kernel; it produces bitwise
+// identical outputs to the scalar path (same per-element summation order)
+// while amortizing weight loads across samples. Hot callers — the MPC
+// distribution fill in particular — should batch.
+//
+// Main entry points:
+//
+//   - MLP / NewMLP: the network; Forward*, PredictDist* for inference,
+//     Save/Load (gob) for serialization. Parameters live in one contiguous
+//     slab, which is what the batched kernel exploits.
+//   - Trainer with an Optimizer (SGD, Adam): minibatch supervised training
+//     with optional per-sample weights.
+//   - CrossEntropy / Accuracy: batched evaluation sweeps.
+//   - Softmax, LogSumExp, ArgMax, Dot: the numeric utilities shared by the
+//     predictors.
+//
+// Everything is deterministic given a seeded *rand.Rand. All math is
+// float64.
+package nn

@@ -1,18 +1,3 @@
-// Package nn is a small, dependency-free neural-network library sufficient
-// for the Fugu Transmission Time Predictor and the Pensieve policy network:
-// fully-connected layers with ReLU activations, a softmax/cross-entropy
-// classification head or a linear/MSE regression head, SGD and Adam
-// optimizers, per-sample weighting, and gob serialization.
-//
-// Inference has two paths. The scalar path (ForwardInto/PredictDist) runs a
-// single sample through per-layer dot products. The batched path
-// (ForwardBatchInto/PredictDistBatch) runs B samples per call over flat
-// row-major activation matrices with a register-blocked kernel; it produces
-// bitwise-identical outputs to the scalar path (same per-element summation
-// order) while amortizing weight loads across samples. Hot callers — the MPC
-// distribution fill in particular — should batch.
-//
-// Everything is deterministic given a seeded *rand.Rand. All math is float64.
 package nn
 
 import (

@@ -1,13 +1,3 @@
-// Package pensieve reproduces the Pensieve baseline: a neural-network
-// policy that directly picks the next chunk's bitrate, trained with
-// policy-gradient reinforcement learning (REINFORCE with a learned value
-// baseline and an annealed entropy bonus) in a chunk-level simulator over
-// emulator-style (FCC-like) traces — exactly the training regime whose
-// deployment gap the paper measures.
-//
-// As in the paper's deployment (§3.3), the policy optimizes the
-// bitrate-based QoE (+bitrate, -stalls, -Δbitrate); it cannot be made
-// SSIM-aware without surgery, which is part of the point.
 package pensieve
 
 import (

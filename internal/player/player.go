@@ -1,9 +1,3 @@
-// Package player models the client side of a Puffer stream: the playback
-// buffer with stall accounting, and the viewer-behavior model (how long
-// people intend to watch, and how stalls and picture quality drive
-// abandonment). The paper's headline statistics — stall ratio, startup
-// delay, watch time, and the Figure 10 time-on-site tail — are all produced
-// by this machinery.
 package player
 
 import (

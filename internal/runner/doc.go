@@ -1,0 +1,38 @@
+// Package runner implements the paper's defining mechanism as a first-class
+// subsystem: the in-situ continual-experiment loop. Each simulated day runs
+// a randomized trial with the currently-deployed schemes while telemetry is
+// recorded; a nightly phase warm-start-retrains the TTP on a sliding window
+// of recent days and atomically rotates the new model into the Fugu arm for
+// the next day (§4.3's "retrained every day, on data collected from its own
+// deployment").
+//
+// Days are sharded: a worker pool folds each shard's sessions into private
+// mergeable accumulators (experiment.TrialAcc) that merge in shard order, so
+// aggregation streams over sessions — at most one SessionResult per worker
+// is ever materialized, and bootstrap confidence intervals are computed once
+// on the merged state. Per-day state (model, telemetry, accumulator, stats)
+// checkpoints atomically, so a killed run resumes at the last completed day
+// with byte-identical results; a manifest pins every result-shaping
+// parameter (the path family's name included, which is how a drift schedule
+// participates) and rejects mismatched resumes.
+//
+// The loop threads the day index into the environment's path sampler: when
+// Config.Env.Paths is a netem.DaySampler (e.g. a netem.DriftingSampler),
+// day d's sessions draw from day d's distribution. That is the
+// nonstationary regime where this package earns its keep — the staleness
+// ablation (Retrain=false) separates from the retrained arm and the gap
+// widens day over day, where a stationary deployment shows the paper's
+// "stale model ties" result.
+//
+// Main entry points:
+//
+//   - Run with a Config: execute (or resume, via Config.CheckpointDir) a
+//     continual experiment; Result / DayStats carry per-day and pooled
+//     analyses, the final model, and the sliding-window telemetry.
+//   - DayStats.Scheme: read one arm's row out of a day, e.g. to compare
+//     seed-paired retrained and frozen runs per day.
+//   - ModelSlot: the atomic model-rotation point between the nightly phase
+//     and session factories.
+//   - BootstrapSchemes / DeploySchemes: the day-0 classical mixture and
+//     the steady-state Fugu+BBA mixture.
+package runner

@@ -1,0 +1,185 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+	"puffer/internal/netem"
+)
+
+// driftEnv is the deployment environment under a named drift preset.
+func driftEnv(t *testing.T, preset string) experiment.Env {
+	t.Helper()
+	sched, err := netem.DriftPreset(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := experiment.DefaultEnv()
+	env.Paths = &netem.DriftingSampler{Base: env.Paths, Schedule: sched}
+	return env
+}
+
+// driftTestConfig mirrors testConfig but under drift.
+func driftTestConfig(t *testing.T, seed int64, preset string) Config {
+	cfg := testConfig(seed)
+	cfg.Env = driftEnv(t, preset)
+	return cfg
+}
+
+// TestRunnerDriftStalenessSeparates is the acceptance check for the drift
+// subsystem: in a drifting deployment the staleness ablation must separate
+// monotonically — the frozen day-0 model's stall rate exceeds the
+// retrained arm's by day 2, and the gap keeps growing through the final
+// day. Runs are seed-paired (identical sessions and paths), so the per-day
+// gap isolates the models' decisions.
+func TestRunnerDriftStalenessSeparates(t *testing.T) {
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 4
+	cfg := Config{
+		Env:            driftEnv(t, "shift"),
+		Days:           4,
+		SessionsPerDay: 128,
+		WindowDays:     0,
+		ShardSize:      16,
+		Seed:           2,
+		Retrain:        true,
+		Hidden:         []int{24},
+		Horizon:        2,
+		Train:          tc,
+	}
+	retrained, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenCfg := cfg
+	frozenCfg.Retrain = false
+	frozen, err := Run(frozenCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gap := func(day int) float64 {
+		a, okA := retrained.Days[day].Scheme("Fugu")
+		b, okB := frozen.Days[day].Scheme("Fugu")
+		if !okA || !okB {
+			t.Fatalf("day %d: missing Fugu arm", day)
+		}
+		return b.StallRatio.Point - a.StallRatio.Point
+	}
+	// Day 1: both runs serve the identical day-0 model on identical
+	// sessions, so the two arms must agree exactly.
+	if g := gap(1); g != 0 {
+		t.Fatalf("day 1 gap = %+.4f, want exactly 0 (both arms serve the day-0 model)", g)
+	}
+	// Day 2 on: the frozen model falls behind, and keeps falling.
+	g2, g3 := gap(2), gap(3)
+	if g2 <= 0 {
+		t.Fatalf("day 2 gap = %+.4f, want frozen stalling more than retrained", g2)
+	}
+	if g3 <= g2 {
+		t.Fatalf("gap shrank: day 2 %+.4f vs day 3 %+.4f, want monotone growth", g2, g3)
+	}
+	t.Logf("frozen-vs-retrained stall gap: day2 %+.2f pp, day3 %+.2f pp", 100*g2, 100*g3)
+}
+
+// TestRunnerDriftDeterministicAcrossWorkers: drift must not break the
+// worker-count independence of aggregates.
+func TestRunnerDriftDeterministicAcrossWorkers(t *testing.T) {
+	a := driftTestConfig(t, 23, "decay")
+	a.Workers = 1
+	resA, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := driftTestConfig(t, 23, "decay")
+	b.Workers = 8
+	resB, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, resA), fingerprint(t, resB)) {
+		t.Fatal("drifting runner results differ between 1 and 8 workers")
+	}
+}
+
+// TestRunnerDriftCheckpointResume: a run killed mid-drift must resume into
+// the correct day-indexed distribution — byte-identical to uninterrupted.
+func TestRunnerDriftCheckpointResume(t *testing.T) {
+	straight := driftTestConfig(t, 29, "mix")
+	straight.Days = 3
+	want, err := Run(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	first := driftTestConfig(t, 29, "mix")
+	first.Days = 2
+	first.CheckpointDir = dir
+	if _, err := Run(first); err != nil {
+		t.Fatal(err)
+	}
+	second := driftTestConfig(t, 29, "mix")
+	second.Days = 3
+	second.CheckpointDir = dir
+	got, err := Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, got), fingerprint(t, want)) {
+		t.Fatal("mid-drift kill-and-resume differs from uninterrupted run")
+	}
+}
+
+// TestRunnerManifestGuardsDrift: the drift schedule shapes every result, so
+// it must participate in the checkpoint config guard (via the drifting
+// sampler's name).
+func TestRunnerManifestGuardsDrift(t *testing.T) {
+	dir := t.TempDir()
+	cfg := driftTestConfig(t, 31, "decay")
+	cfg.Days = 1
+	cfg.CheckpointDir = dir
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	other := driftTestConfig(t, 31, "shift")
+	other.Days = 1
+	other.CheckpointDir = dir
+	if _, err := Run(other); err == nil {
+		t.Fatal("resume with a different drift preset must be rejected")
+	}
+	plain := testConfig(31)
+	plain.Days = 1
+	plain.CheckpointDir = dir
+	if _, err := Run(plain); err == nil {
+		t.Fatal("resume without drift in a drifted checkpoint must be rejected")
+	}
+}
+
+// TestRunnerZeroDriftIdentity: wrapping the sampler with an all-zero
+// schedule changes nothing — results are byte-identical to the unwrapped
+// run, and the sampler keeps the base family's name (so `-drift none` is
+// byte-identical to today and checkpoint-compatible).
+func TestRunnerZeroDriftIdentity(t *testing.T) {
+	plain := testConfig(37)
+	want, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := testConfig(37)
+	env := experiment.DefaultEnv()
+	env.Paths = &netem.DriftingSampler{Base: env.Paths}
+	wrapped.Env = env
+	got, err := Run(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, got), fingerprint(t, want)) {
+		t.Fatal("zero-schedule DriftingSampler changed results")
+	}
+	if env.Paths.Name() != experiment.DefaultEnv().Paths.Name() {
+		t.Fatalf("zero-schedule sampler renamed the family: %q", env.Paths.Name())
+	}
+}

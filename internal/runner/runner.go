@@ -1,18 +1,3 @@
-// Package runner implements the paper's defining mechanism as a first-class
-// subsystem: the in-situ continual-experiment loop. Each simulated day runs
-// a randomized trial with the currently-deployed schemes while telemetry is
-// recorded; a nightly phase warm-start-retrains the TTP on a sliding window
-// of recent days and atomically rotates the new model into the Fugu arm for
-// the next day (§4.3's "retrained every day, on data collected from its own
-// deployment").
-//
-// Days are sharded: a worker pool folds each shard's sessions into private
-// mergeable accumulators (experiment.TrialAcc) that merge in shard order, so
-// aggregation streams over sessions — at most one SessionResult per worker
-// is ever materialized, and bootstrap confidence intervals are computed once
-// on the merged state. Per-day state (model, telemetry, accumulator, stats)
-// checkpoints atomically, so a killed run resumes at the last completed day
-// with byte-identical results.
 package runner
 
 import (
@@ -27,41 +12,54 @@ import (
 	"puffer/internal/experiment"
 )
 
-// Config describes a continual experiment.
+// Config describes a continual experiment. Field comments state units and
+// the zero-value default uniformly, because cmd/puffer-daily's help text is
+// generated from the same facts.
 type Config struct {
-	// Env is the world sessions run in; the zero value defaults to
-	// experiment.DefaultEnv.
+	// Env is the world sessions run in. When Env.Paths implements
+	// netem.DaySampler (e.g. a netem.DriftingSampler), each day's sessions
+	// draw their network situations from that day's distribution — the
+	// nonstationary deployment the staleness ablation needs. Default
+	// (zero Env): experiment.DefaultEnv.
 	Env experiment.Env
-	// Days is how many deployment days to simulate.
+	// Days is how many deployment days to simulate. No default; must be
+	// positive.
 	Days int
-	// SessionsPerDay is each day's trial size.
+	// SessionsPerDay is each day's randomized-trial size in sessions. No
+	// default; must be positive.
 	SessionsPerDay int
-	// WindowDays is the sliding retraining window W: the nightly phase
-	// trains on telemetry from the last W days (0 = all days so far).
+	// WindowDays is the sliding retraining window W in days: the nightly
+	// phase trains on telemetry from the last W days. Default (0): all
+	// days so far.
 	WindowDays int
-	// Workers bounds shard parallelism; 0 means GOMAXPROCS.
+	// Workers bounds shard parallelism (worker goroutines). Default (0):
+	// GOMAXPROCS. Results are identical for any worker count.
 	Workers int
-	// ShardSize is how many sessions each worker-pool shard covers
-	// (0 = 64). Results are independent of ShardSize up to floating-point
-	// reassociation of two scalar means; fix it for bit-reproducibility.
+	// ShardSize is how many sessions each worker-pool shard covers.
+	// Default (0): 64. Results are independent of ShardSize up to
+	// floating-point reassociation of two scalar means; fix it for
+	// bit-reproducibility.
 	ShardSize int
-	// Seed makes the whole run deterministic.
+	// Seed makes the whole run deterministic. Default (0) is a valid seed.
 	Seed int64
-	// Retrain enables the nightly warm-start retraining. With Retrain
-	// false the model trained after day 0 stays frozen — the paper's
-	// "Fugu-Feb" staleness ablation.
+	// Retrain enables the nightly warm-start retraining. Default (false):
+	// the model trained after day 0 stays frozen — the paper's "Fugu-Feb"
+	// staleness ablation.
 	Retrain bool
-	// CheckpointDir persists per-day state for kill-and-resume; empty
-	// disables checkpointing.
+	// CheckpointDir persists per-day state for kill-and-resume. Default
+	// (empty): no checkpointing.
 	CheckpointDir string
-	// Hidden are the TTP hidden-layer sizes (nil = core.DefaultHidden).
+	// Hidden are the TTP hidden-layer sizes. Default (nil):
+	// core.DefaultHidden (64, 64).
 	Hidden []int
-	// Horizon is the TTP/MPC lookahead (0 = core.DefaultHorizon).
+	// Horizon is the TTP/MPC lookahead in chunks. Default (0):
+	// core.DefaultHorizon (5).
 	Horizon int
-	// Train controls the nightly supervised training (zero value =
-	// core.DefaultTrainConfig; Train.Seed is re-derived per day).
+	// Train controls the nightly supervised training. Default (zero
+	// value): core.DefaultTrainConfig; Train.Seed is re-derived per day
+	// either way.
 	Train core.TrainConfig
-	// Logf, if set, receives progress lines.
+	// Logf, if set, receives progress lines. Default (nil): silent.
 	Logf func(format string, args ...any)
 }
 
@@ -76,6 +74,56 @@ type DayStats struct {
 	Examples []int
 	// Schemes is the day's per-arm analysis.
 	Schemes []experiment.SchemeStats
+}
+
+// Scheme returns the day's stats row for a named arm — how the per-day
+// staleness deltas are read out of paired retrained/frozen runs.
+func (d *DayStats) Scheme(name string) (experiment.SchemeStats, bool) {
+	for _, s := range d.Schemes {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return experiment.SchemeStats{}, false
+}
+
+// GapRow is one day of a paired staleness comparison: the named arm's
+// stall ratio under daily retraining and under the frozen day-0 model, on
+// runs sharing a seed (so sessions and paths are identical and the gap
+// isolates the models' decisions).
+type GapRow struct {
+	Day int
+	// Retrained and Frozen are stall ratios (fractions, not percent).
+	Retrained, Frozen float64
+	// Gap is Frozen - Retrained.
+	Gap float64
+	// Present is false on days the arm did not run (e.g. the bootstrap
+	// day, which deploys no Fugu).
+	Present bool
+}
+
+// StalenessGaps aligns two seed-paired runs day by day for the named arm.
+// Both the puffer-daily ablation table and figures.FigDrift are built on
+// it.
+func StalenessGaps(retrained, frozen *Result, scheme string) []GapRow {
+	days := len(retrained.Days)
+	if len(frozen.Days) < days {
+		days = len(frozen.Days)
+	}
+	rows := make([]GapRow, 0, days)
+	for d := 0; d < days; d++ {
+		row := GapRow{Day: d}
+		a, okA := retrained.Days[d].Scheme(scheme)
+		b, okB := frozen.Days[d].Scheme(scheme)
+		if okA && okB {
+			row.Present = true
+			row.Retrained = a.StallRatio.Point
+			row.Frozen = b.StallRatio.Point
+			row.Gap = b.StallRatio.Point - a.StallRatio.Point
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // Result is a finished (or resumed-and-finished) continual experiment.

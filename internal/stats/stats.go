@@ -1,8 +1,3 @@
-// Package stats implements the paper's statistical machinery: bootstrap
-// confidence intervals on aggregate stall ratio (§3.4), duration-weighted
-// standard errors on SSIM, CCDFs for the Figure 10 watch-time tails, and
-// the power analysis behind "it takes about 2 stream-years of data to
-// distinguish two schemes that differ by 15%" (§5.3).
 package stats
 
 import (

@@ -1,0 +1,27 @@
+// Package tcpsim is a fluid model of a BBR-flavored TCP sender pushing video
+// chunks over a netem.Path. It is not a packet simulator: it integrates send
+// and drain rates over piecewise-constant capacity segments, which is fast
+// enough to back hundreds of thousands of simulated streams.
+//
+// What the model does capture — because the paper's results depend on it:
+//
+//   - slow-start ramp on fresh connections (small early chunks finish in a
+//     couple of RTTs; the ramp makes transmission time nonlinear in size);
+//   - bandwidth-estimate lag after capacity changes (the predictor's job is
+//     exactly to see through this);
+//   - queue-induced RTT inflation bounded by the path's queue capacity;
+//   - a tcp_info-equivalent snapshot (cwnd, in-flight, min/smoothed RTT,
+//     delivery rate) mirroring the fields Puffer records in video_sent and
+//     feeds to the TTP (§4.1).
+//
+// Main entry points:
+//
+//   - Dial: open a connection over a sampled path; one Conn backs a whole
+//     session across channel changes, as on Puffer.
+//   - Conn.TransferUpTo: send one chunk with a deadline (the stream loop's
+//     workhorse); Conn.Wait advances idle time; Conn.Now is the session
+//     clock.
+//   - Conn.Info: the tcp_info snapshot (Info mirrors tcpi_snd_cwnd,
+//     unacked, tcpi_min_rtt, tcpi_rtt, tcpi_delivery_rate; MSS matches how
+//     tcp_info reports packet counts).
+package tcpsim

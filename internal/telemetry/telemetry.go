@@ -1,7 +1,3 @@
-// Package telemetry defines the measurement records Puffer publishes in its
-// open data release (Appendix B of the paper) — video_sent, video_acked,
-// and client_buffer — plus the per-stream summary figures the analysis is
-// built on (watch time, stall time, SSIM mean and variation, startup delay).
 package telemetry
 
 import (

@@ -20,6 +20,11 @@
 // factored value iteration. Custom Algorithm implementations get the same
 // treatment by implementing BatchPredictor; plain Predictor still works via
 // a per-call fallback.
+//
+// The continual (daily) loop is RunDaily; wrap an Env's path sampler in a
+// DriftingSampler (see DriftPreset) to make the deployment nonstationary —
+// the regime where the paper's daily retraining visibly beats a frozen
+// model instead of tying it. See ARCHITECTURE.md for the system view.
 package puffer
 
 import (
@@ -29,6 +34,7 @@ import (
 	"puffer/internal/core"
 	"puffer/internal/experiment"
 	"puffer/internal/figures"
+	"puffer/internal/netem"
 	"puffer/internal/pensieve"
 	"puffer/internal/runner"
 )
@@ -75,10 +81,25 @@ type (
 	DayStats = runner.DayStats
 	// ModelSlot atomically publishes the TTP the Fugu arm serves.
 	ModelSlot = runner.ModelSlot
+	// GapRow is one day of a paired retrained-vs-frozen staleness
+	// comparison (see StalenessGaps).
+	GapRow = runner.GapRow
 	// SchemeAcc and TrialAcc are the mergeable accumulators behind sharded
 	// aggregation (fold sessions in, merge shards, analyze once).
 	SchemeAcc = experiment.SchemeAcc
 	TrialAcc  = experiment.TrialAcc
+	// PathSampler draws per-session network paths for an Env.
+	PathSampler = netem.Sampler
+	// DaySampler is a day-indexed PathSampler: the daily loop passes each
+	// experiment day to Env.Paths, so a day-aware family draws that day's
+	// sessions from that day's distribution.
+	DaySampler = netem.DaySampler
+	// DriftSchedule describes how a path population evolves over days
+	// (capacity decay, slow-share growth, outage ramps, family mixes).
+	DriftSchedule = netem.DriftSchedule
+	// DriftingSampler wraps any PathSampler with a DriftSchedule, making
+	// the simulated deployment nonstationary.
+	DriftingSampler = netem.DriftingSampler
 )
 
 // Analysis filters (Figure 8's two panels).
@@ -184,4 +205,17 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 // currently-deployed schemes while telemetry is recorded, and a nightly
 // phase warm-start-retrains the TTP on a sliding window of recent days and
 // atomically rotates the new model into the Fugu arm for the next day.
+// Wrap cfg.Env.Paths in a DriftingSampler to make the deployment
+// nonstationary — the regime where daily retraining visibly beats a frozen
+// model.
 func RunDaily(cfg DailyConfig) (*DailyResult, error) { return runner.Run(cfg) }
+
+// DriftPreset returns a named nonstationarity schedule ("none", "decay",
+// "shift", or "mix") for use with DriftingSampler.
+func DriftPreset(name string) (DriftSchedule, error) { return netem.DriftPreset(name) }
+
+// StalenessGaps aligns two seed-paired RunDaily results day by day for the
+// named arm, yielding the per-day frozen-vs-retrained stall gap.
+func StalenessGaps(retrained, frozen *DailyResult, scheme string) []GapRow {
+	return runner.StalenessGaps(retrained, frozen, scheme)
+}

@@ -83,3 +83,30 @@ func TestFacadeConstructors(t *testing.T) {
 		alg.Reset()
 	}
 }
+
+// TestDriftFacade exercises the drift surface through the public API: build
+// a drifting deployment and check the day index changes the distribution a
+// stationary sampler would ignore.
+func TestDriftFacade(t *testing.T) {
+	for _, name := range []string{"none", "decay", "shift", "mix"} {
+		if _, err := DriftPreset(name); err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+	}
+	if _, err := DriftPreset("bogus"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+	sched, err := DriftPreset("decay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := DefaultEnv()
+	var ds DaySampler = &DriftingSampler{Base: env.Paths, Schedule: sched}
+	env.Paths = ds
+	if env.Paths.Name() == "puffer" {
+		t.Fatal("drifting sampler must not masquerade as the stationary family")
+	}
+	if sched.RateScale(3) >= sched.RateScale(1) {
+		t.Fatal("decay schedule does not decay")
+	}
+}
