@@ -41,12 +41,16 @@ bench:
 # Daily-loop smoke: run the continual experiment for one day into a fresh
 # checkpoint dir, then ask the same dir for two days — the second invocation
 # must resume at day 1, exercising kill-and-resume end to end (2 days x 40
-# sessions, nightly retraining on).
+# sessions, nightly retraining on). Both execution engines run the same
+# smoke, so every push exercises the per-session and fleet paths.
 daily-smoke:
-	rm -rf $(DAILY_DIR)
+	rm -rf $(DAILY_DIR) $(DAILY_DIR)-fleet
 	$(GO) run ./cmd/puffer-daily -days 1 -sessions 40 -window 2 -epochs 2 -seed 1 -checkpoint $(DAILY_DIR) -ablation=false -q
 	$(GO) run ./cmd/puffer-daily -days 2 -sessions 40 -window 2 -epochs 2 -seed 1 -checkpoint $(DAILY_DIR) -ablation=false
 	test -d $(DAILY_DIR)/retrain/day_001
+	$(GO) run ./cmd/puffer-daily -days 1 -sessions 40 -window 2 -epochs 2 -seed 1 -engine fleet -arrival-rate 2 -checkpoint $(DAILY_DIR)-fleet -ablation=false -q
+	$(GO) run ./cmd/puffer-daily -days 2 -sessions 40 -window 2 -epochs 2 -seed 1 -engine fleet -arrival-rate 2 -checkpoint $(DAILY_DIR)-fleet -ablation=false
+	test -d $(DAILY_DIR)-fleet/retrain/day_001
 
 # Docs smoke: fail if any package is missing a package doc comment
 # (cmd/doccheck), then briefly run every examples/ program end to end —

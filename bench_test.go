@@ -345,6 +345,34 @@ func BenchmarkDriftStaleness(b *testing.B) {
 	}
 }
 
+func BenchmarkFigFleetEngines(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.FigFleet(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var seq, flt float64
+		for _, r := range rows {
+			if !r.Identical {
+				b.Fatal("fleet engine diverged from per-session engine")
+			}
+			switch r.Engine {
+			case "per-session":
+				seq = r.SessionsPerSec
+			case "fleet":
+				flt = r.SessionsPerSec
+				b.ReportMetric(float64(r.PeakConcurrent), "peak-concurrent")
+				b.ReportMetric(r.MeanBatchRows, "mean-batch-rows")
+			}
+		}
+		b.ReportMetric(flt, "fleet-sessions/sec")
+		if seq > 0 {
+			b.ReportMetric(flt/seq, "fleet-speedup-x")
+		}
+	}
+}
+
 func BenchmarkSec53PowerAnalysis(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {

@@ -7,7 +7,9 @@
 //
 // Figure ids: 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, A1, 3.4, 4.6, 5.3, plus
 // "drift" — the staleness ablation in a nonstationary deployment (the
-// drift extension of §4.6).
+// drift extension of §4.6) — and "fleet" — the serving-engine comparison
+// (per-session vs virtual-time fleet multiplexing with cross-session
+// batched inference).
 package main
 
 import (
@@ -84,6 +86,9 @@ func main() {
 		case "drift":
 			_, err := suite.FigDrift(w)
 			return err
+		case "fleet":
+			_, err := suite.FigFleet(w)
+			return err
 		default:
 			return fmt.Errorf("unknown figure id %q", id)
 		}
@@ -91,7 +96,7 @@ func main() {
 
 	ids := []string{*fig}
 	if *fig == "all" {
-		ids = []string{"1", "2", "3", "4", "5", "7", "8", "9", "10", "11", "A1", "3.4", "4.6", "5.3", "drift"}
+		ids = []string{"1", "2", "3", "4", "5", "7", "8", "9", "10", "11", "A1", "3.4", "4.6", "5.3", "drift", "fleet"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

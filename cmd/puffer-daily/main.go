@@ -15,6 +15,7 @@
 //	puffer-daily -days 4 -drift shift               # nonstationary deployment
 //	puffer-daily -days 14 -sessions 300 -window 7 -checkpoint /tmp/daily
 //	puffer-daily -days 30 -retrain=false            # deploy one stale model
+//	puffer-daily -engine fleet -arrival-rate 2      # concurrent serving engine
 //
 // A killed run resumes at the last completed day when -checkpoint is set;
 // the drift schedule is pinned by the checkpoint manifest, so resuming with
@@ -41,6 +42,9 @@ func main() {
 	sessions := flag.Int("sessions", 150, "randomized-trial size per day (sessions)")
 	window := flag.Int("window", 14, "sliding retraining window (days; 0 = all days so far)")
 	workers := flag.Int("workers", 0, "parallel shard workers (goroutines; 0 = GOMAXPROCS)")
+	engine := flag.String("engine", "session", "execution engine: session (one session at a time per worker) or fleet (virtual-time multiplexing with cross-session batched inference); results are byte-identical")
+	arrivalRate := flag.Float64("arrival-rate", 1, "fleet engine: Poisson session arrival intensity (sessions per virtual second)")
+	tick := flag.Float64("tick", 0.25, "fleet engine: inference batching tick (virtual seconds; never changes results)")
 	shard := flag.Int("shard", 64, "sessions per aggregation shard (sessions)")
 	seed := flag.Int64("seed", 1, "experiment seed (any int64)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory (path; empty = no checkpointing)")
@@ -146,6 +150,9 @@ func main() {
 		SessionsPerDay: *sessions,
 		WindowDays:     *window,
 		Workers:        *workers,
+		Engine:         *engine,
+		ArrivalRate:    *arrivalRate,
+		FleetTick:      *tick,
 		ShardSize:      *shard,
 		Seed:           *seed,
 		Retrain:        *retrain,

@@ -63,6 +63,23 @@ type Algorithm interface {
 	Reset()
 }
 
+// DeferredAlgorithm is implemented by algorithms whose decision can be
+// split around an external inference phase: PrepareChoose stages all of the
+// decision's prediction work (a deferring predictor records feature rows
+// instead of running its network), an external service may then execute the
+// staged work — batched across many concurrent sessions — and FinishChoose
+// completes the decision from the filled distributions. For any state,
+// PrepareChoose(obs) followed by FinishChoose(obs) must return exactly what
+// Choose(obs) would have, including identical RNG draw sequences.
+type DeferredAlgorithm interface {
+	Algorithm
+	// PrepareChoose stages the decision for obs.
+	PrepareChoose(obs *Observation)
+	// FinishChoose completes the decision staged by the immediately
+	// preceding PrepareChoose with the same obs.
+	FinishChoose(obs *Observation) int
+}
+
 // QoEWeights holds the coefficients of the paper's Equation 1:
 // QoE = SSIM - λ·|ΔSSIM| - µ·stall.
 type QoEWeights struct {

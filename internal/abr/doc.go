@@ -30,6 +30,10 @@
 //     scheme.
 //   - NewExplorer: epsilon-uniform rung exploration wrapped around any
 //     scheme, used when collecting TTP training data.
+//   - DeferredAlgorithm: the split decision protocol (PrepareChoose /
+//     FinishChoose) the fleet engine parks sessions around so an external
+//     service can batch prediction across concurrent sessions; MPC and
+//     Explorer implement it with Choose ≡ Prepare;Finish guaranteed.
 //   - BinIndex / BinValue / NumBins: the transmission-time discretization
 //     shared with the TTP.
 package abr

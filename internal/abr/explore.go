@@ -28,7 +28,13 @@ func (e *Explorer) Reset() { e.Base.Reset() }
 
 // Choose implements Algorithm.
 func (e *Explorer) Choose(obs *Observation) int {
-	q := e.Base.Choose(obs)
+	return e.explore(obs, e.Base.Choose(obs))
+}
+
+// explore applies the epsilon-uniform override to the base decision. It is
+// shared by Choose and FinishChoose so both consume the exploration RNG in
+// exactly the same sequence.
+func (e *Explorer) explore(obs *Observation, q int) int {
 	if len(obs.Horizon) == 0 {
 		return q
 	}
@@ -36,4 +42,22 @@ func (e *Explorer) Choose(obs *Observation) int {
 		return e.rng.Intn(len(obs.Horizon[0].Versions))
 	}
 	return q
+}
+
+// PrepareChoose implements DeferredAlgorithm: the base algorithm stages its
+// prediction work if it can; otherwise the whole decision happens in
+// FinishChoose. The exploration RNG is only consulted in FinishChoose, so
+// draw order matches Choose exactly.
+func (e *Explorer) PrepareChoose(obs *Observation) {
+	if d, ok := e.Base.(DeferredAlgorithm); ok {
+		d.PrepareChoose(obs)
+	}
+}
+
+// FinishChoose implements DeferredAlgorithm.
+func (e *Explorer) FinishChoose(obs *Observation) int {
+	if d, ok := e.Base.(DeferredAlgorithm); ok {
+		return e.explore(obs, d.FinishChoose(obs))
+	}
+	return e.explore(obs, e.Base.Choose(obs))
 }

@@ -57,6 +57,9 @@ type MPC struct {
 	sizes  []float64 // candidate sizes for one step's batched fill
 	nBuf   int
 	bufCap float64
+	// pendH/pendNQ carry the horizon dimensions from PrepareChoose to
+	// FinishChoose.
+	pendH, pendNQ int
 
 	// factored value-iteration scratch
 	nextTab []int32   // (bb*NumBins+k), k < k0Tab[bb] -> next buffer bin from bb on outcome k
@@ -106,13 +109,32 @@ func (m *MPC) horizonDims(obs *Observation) (int, int) {
 // Choose implements Algorithm: it plans a trajectory over the horizon and
 // returns the first step's rung.
 func (m *MPC) Choose(obs *Observation) int {
+	m.PrepareChoose(obs)
+	return m.FinishChoose(obs)
+}
+
+// PrepareChoose implements DeferredAlgorithm: it sizes the planning tables
+// and fills (or, with a deferring predictor, stages) the horizon's
+// transmission-time distributions. Choose is exactly PrepareChoose followed
+// by FinishChoose, so splitting a decision around an external batched
+// inference service changes nothing about its outcome.
+func (m *MPC) PrepareChoose(obs *Observation) {
 	h, nQ := m.horizonDims(obs)
+	m.pendH, m.pendNQ = h, nQ
 	if h == 0 {
-		return 0
+		return
 	}
 	m.ensureScratch(obs.BufferCap, h, nQ)
 	m.fillDists(obs, h, nQ)
-	return m.plan(obs, h, nQ)
+}
+
+// FinishChoose implements DeferredAlgorithm: it runs the value iteration
+// over the distributions prepared (and by now filled) for obs.
+func (m *MPC) FinishChoose(obs *Observation) int {
+	if m.pendH == 0 {
+		return 0
+	}
+	return m.plan(obs, m.pendH, m.pendNQ)
 }
 
 // fillDists computes each of the h*nQ transmission-time distributions

@@ -157,6 +157,51 @@ func (t *TrialAcc) Analyze(seed int64) []SchemeStats {
 	return out
 }
 
+// NumShards returns the shard count for n sessions at the given shard size.
+func NumShards(n, shardSize int) int {
+	return (n + shardSize - 1) / shardSize
+}
+
+// ShardRange returns shard s's session-id range [lo, hi).
+func ShardRange(n, shardSize, s int) (lo, hi int) {
+	lo, hi = s*shardSize, (s+1)*shardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// FoldShards builds the canonical sharded aggregate every execution engine
+// must replicate for byte-identical pooled statistics: per-shard
+// accumulators fold sessions in ascending-id order (fetched via get, which
+// may compute the session or read a finished result) and merge in shard
+// order.
+func FoldShards(n, shardSize int, filter AnalysisFilter, get func(id int) *SessionResult) *TrialAcc {
+	total := NewTrialAcc(filter)
+	for s := 0; s < NumShards(n, shardSize); s++ {
+		lo, hi := ShardRange(n, shardSize, s)
+		acc := NewTrialAcc(filter)
+		for id := lo; id < hi; id++ {
+			acc.AddSession(get(id))
+		}
+		total.Merge(acc)
+	}
+	return total
+}
+
+// FoldShard runs sessions [lo, hi) of the trial and folds them into a
+// fresh accumulator in id order — the shard unit of FoldShards, exposed
+// separately so worker pools can compute shards in parallel and merge in
+// shard order themselves.
+func (cfg *Config) FoldShard(lo, hi int, filter AnalysisFilter) *TrialAcc {
+	acc := NewTrialAcc(filter)
+	for id := lo; id < hi; id++ {
+		sess := cfg.RunOne(id)
+		acc.AddSession(&sess)
+	}
+	return acc
+}
+
 // sortedSchemeNames returns map keys in deterministic (sorted) order.
 func sortedSchemeNames(m map[string]*SchemeAcc) []string {
 	names := make([]string, 0, len(m))

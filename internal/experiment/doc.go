@@ -29,4 +29,7 @@
 //     is a thin wrapper over them.
 //   - Recorder / DatasetCollector / CollectDataset: the telemetry hook
 //     that gathers TTP training data from a trial.
+//   - DecideHook / RunOneHooked / RunSessionHooked: the decision
+//     interception point the fleet engine parks sessions at; a nil hook
+//     is byte-identical to the plain entry points.
 package experiment

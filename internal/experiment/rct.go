@@ -85,12 +85,19 @@ func Run(cfg Config) (*Result, error) {
 // run ids in any order or partition — the sharded runner uses this to fold
 // sessions into per-shard accumulators without materializing a full Result.
 func (cfg *Config) RunOne(id int) SessionResult {
+	return cfg.RunOneHooked(id, nil)
+}
+
+// RunOneHooked is RunOne with the session's decisions routed through hook
+// (and the freshly built algorithm exposed to it); the fleet engine parks
+// sessions there. A nil hook is exactly RunOne.
+func (cfg *Config) RunOneHooked(id int, hook DecideHook) SessionResult {
 	rng := rand.New(rand.NewSource(mix(cfg.Seed, int64(id))))
 	arm := rng.Intn(len(cfg.Schemes))
 	scheme := cfg.Schemes[arm]
 	alg := scheme.New()
 	env := cfg.Env
-	return RunSession(&env, alg, rng, id, scheme.Name, cfg.Day, cfg.Recorder)
+	return RunSessionHooked(&env, alg, rng, id, scheme.Name, cfg.Day, cfg.Recorder, hook)
 }
 
 // mix hashes (seed, id) into an independent RNG seed (splitmix64 finalizer).

@@ -40,6 +40,16 @@ type Recorder interface {
 	RecordChunk(day int, streamKey int, obs core.ChunkObs)
 }
 
+// DecideHook intercepts every ABR decision of a session. An execution
+// engine that multiplexes many sessions (the fleet engine) uses it to park
+// the session at its decision points: now is the session connection's
+// current time, and the hook must return exactly what alg.Choose(obs) would
+// — e.g. by splitting a DeferredAlgorithm around an external batched
+// inference pass. A nil hook means decisions run inline via alg.Choose.
+type DecideHook interface {
+	Decide(alg abr.Algorithm, obs *abr.Observation, now float64) int
+}
+
 // streamParams bundles the state one stream needs.
 type streamParams struct {
 	env      *Env
@@ -52,6 +62,15 @@ type streamParams struct {
 	intended float64 // seconds the viewer means to watch this stream
 	day      int
 	recorder Recorder
+	hook     DecideHook
+}
+
+// decide routes one decision through the hook when present.
+func (p *streamParams) decide(obs *abr.Observation) int {
+	if p.hook != nil {
+		return p.hook.Decide(p.alg, obs, p.conn.Now())
+	}
+	return p.alg.Choose(obs)
 }
 
 // runStream simulates one stream over an existing connection and returns
@@ -93,7 +112,7 @@ func runStream(p streamParams) (telemetry.StreamSummary, Outcome) {
 			TCP:         p.conn.Info(),
 			Horizon:     horizon,
 		}
-		q := p.alg.Choose(&obs)
+		q := p.decide(&obs)
 		if q < 0 || q >= len(horizon[0].Versions) {
 			q = 0
 		}
@@ -185,6 +204,15 @@ type SessionResult struct {
 // path sampler, so a day-aware (drifting) Env.Paths draws this session's
 // network situation from that day's distribution.
 func RunSession(env *Env, alg abr.Algorithm, rng *rand.Rand, sessionID int, scheme string, day int, rec Recorder) SessionResult {
+	return RunSessionHooked(env, alg, rng, sessionID, scheme, day, rec, nil)
+}
+
+// RunSessionHooked is RunSession with every ABR decision routed through
+// hook (nil behaves exactly like RunSession). A session's outcome depends
+// only on its inputs and the hook honoring the Decide contract, which is
+// what lets the fleet engine interleave sessions in virtual time while
+// staying byte-identical to sequential execution.
+func RunSessionHooked(env *Env, alg abr.Algorithm, rng *rand.Rand, sessionID int, scheme string, day int, rec Recorder, hook DecideHook) SessionResult {
 	res := SessionResult{SessionID: sessionID, Scheme: scheme}
 	maxDur := env.TraceDuration
 	if maxDur <= 0 {
@@ -209,7 +237,7 @@ func RunSession(env *Env, alg abr.Algorithm, rng *rand.Rand, sessionID int, sche
 		sum, outcome := runStream(streamParams{
 			env: env, alg: alg, conn: conn, rng: rng,
 			scheme: scheme, session: sessionID, streamIX: i,
-			intended: intended, day: day, recorder: rec,
+			intended: intended, day: day, recorder: rec, hook: hook,
 		})
 		res.Streams = append(res.Streams, sum)
 		if outcome.endsSession() {

@@ -1,0 +1,99 @@
+package figures
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+	"puffer/internal/fleet"
+)
+
+// FigFleetRow is one engine's row of the serving-engine comparison.
+type FigFleetRow struct {
+	Engine         string
+	SessionsPerSec float64
+	// PeakConcurrent/MeanConcurrent/MeanBatchRows describe the fleet
+	// engine's multiplexing (zero for the per-session engine).
+	PeakConcurrent int
+	MeanConcurrent float64
+	MeanBatchRows  float64
+	// Identical reports whether this engine's pooled statistics matched
+	// the per-session engine's byte for byte.
+	Identical bool
+}
+
+// FigFleet races the two execution engines on the same deployed mixture
+// (the trained Fugu against BBA): the per-session engine runs sessions to
+// completion one at a time per worker, the fleet engine multiplexes them in
+// virtual time and batches TTP inference across concurrent sessions through
+// the packed-model service. The comparison shows the serving-side speedup
+// and verifies the engines agree byte for byte — the property that lets the
+// continual experiment switch engines without changing a single result.
+func (s *Suite) FigFleet(w io.Writer) ([]FigFleetRow, error) {
+	if s.fleet == nil {
+		sessions := s.Scale / 4
+		if sessions < 48 {
+			sessions = 48
+		}
+		mkTrial := func() *experiment.Config {
+			return &experiment.Config{
+				Env: experiment.DefaultEnv(),
+				Schemes: []experiment.Scheme{
+					{Name: "Fugu", New: func() abr.Algorithm {
+						return abr.NewExplorer(core.NewFugu(s.InSituTTP), 0.05, s.Seed+702)
+					}},
+					{Name: "BBA", New: func() abr.Algorithm { return abr.NewBBA() }},
+				},
+				Sessions: sessions,
+				Seed:     s.Seed + 700,
+			}
+		}
+		const shard = 64
+
+		// Both engines run at one worker so the printed speedup isolates
+		// the serving-side batching gain from multi-core parallelism.
+		s.Logf("racing per-session vs fleet engine (%d sessions, 1 worker each)...", sessions)
+		start := time.Now()
+		seqTrial := mkTrial()
+		seqAcc := experiment.FoldShards(seqTrial.Sessions, shard, experiment.AllPaths,
+			func(id int) *experiment.SessionResult {
+				sess := seqTrial.RunOne(id)
+				return &sess
+			})
+		seqSecs := time.Since(start).Seconds()
+
+		fleetAcc, st, err := fleet.RunTrial(mkTrial(), fleet.Config{
+			ShardSize: shard,
+			Workers:   1,
+			Arrivals:  fleet.PoissonArrivals{Rate: float64(sessions) / 60},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		seqStats, _ := json.Marshal(seqAcc.Analyze(s.Seed + 701))
+		fleetStats, _ := json.Marshal(fleetAcc.Analyze(s.Seed + 701))
+		identical := string(seqStats) == string(fleetStats)
+
+		s.fleet = []FigFleetRow{
+			{Engine: "per-session", SessionsPerSec: float64(sessions) / seqSecs, Identical: true},
+			{Engine: "fleet", SessionsPerSec: st.SessionsPerSec(),
+				PeakConcurrent: st.PeakConcurrent, MeanConcurrent: st.MeanConcurrent,
+				MeanBatchRows: st.MeanBatchRows, Identical: identical},
+		}
+	}
+
+	var werr error
+	line(w, &werr, "Fleet: serving-engine comparison (same seed, byte-identical results required)\n")
+	line(w, &werr, "%-12s %13s %9s %9s %11s %10s\n",
+		"Engine", "Sessions/sec", "PeakConc", "MeanConc", "Batch rows", "Identical")
+	for _, r := range s.fleet {
+		line(w, &werr, "%-12s %13.1f %9d %9.1f %11.1f %10t\n",
+			r.Engine, r.SessionsPerSec, r.PeakConcurrent, r.MeanConcurrent, r.MeanBatchRows, r.Identical)
+	}
+	line(w, &werr, "Fleet sessions/sec includes cross-session batched TTP inference over the\npacked (SIMD) model snapshots; identical=true certifies the engines agree.\n")
+	return s.fleet, werr
+}

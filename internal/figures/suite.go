@@ -32,6 +32,7 @@ type Suite struct {
 	emulation *experiment.Result
 	insituDat *core.Dataset
 	drift     []FigDriftRow
+	fleet     []FigFleetRow
 }
 
 // DefaultScale is the default primary-experiment size in sessions.

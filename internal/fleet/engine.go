@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+	"puffer/internal/telemetry"
+)
+
+// Config tunes the fleet engine. None of its fields change results — only
+// scheduling, batching, and the occupancy record — which is the engine's
+// core guarantee (see package doc).
+type Config struct {
+	// ShardSize replicates the sequential runner's aggregation shards so
+	// the pooled accumulator folds in exactly the same order (byte
+	// identity requires matching shard boundaries). Default (0): 64.
+	ShardSize int
+	// Workers bounds how many parked sessions advance concurrently
+	// between inference flushes. Default (0): GOMAXPROCS.
+	Workers int
+	// Arrivals draws session arrival times. Default (nil):
+	// PoissonArrivals{Rate: 1}.
+	Arrivals ArrivalProcess
+	// Tick is the virtual-time window (seconds) whose due decisions are
+	// collected into one cross-session inference flush. Larger ticks mean
+	// bigger batches and coarser interleaving. Default (0): 0.25.
+	Tick float64
+}
+
+// Stats describes one fleet run: the occupancy record and the inference
+// service's batching counters. Everything except WallSeconds is
+// deterministic for a deterministic trial.
+type Stats struct {
+	// Sessions is the trial size.
+	Sessions int
+	// HorizonSeconds is the virtual-time span from first arrival to last
+	// departure.
+	HorizonSeconds float64
+	// Occupancy counts concurrently live sessions over virtual time.
+	Occupancy telemetry.ConcurrencySeries
+	// PeakConcurrent and MeanConcurrent summarize Occupancy.
+	PeakConcurrent int
+	MeanConcurrent float64
+	// Decisions counts ABR decisions; Deferred counts those that staged
+	// rows for the inference service (the NN-backed arms).
+	Decisions int64
+	Deferred  int64
+	// Flushes is how many virtual ticks executed at least one batch;
+	// Batches is per-net batches; Rows is total feature rows;
+	// MaxBatchRows is the largest single-net batch; MeanBatchRows is
+	// Rows/Batches.
+	Flushes       int
+	Batches       int
+	Rows          int64
+	MaxBatchRows  int
+	MeanBatchRows float64
+	// ModelSnapshots is how many distinct nets the service packed.
+	ModelSnapshots int
+	// WallSeconds is the measured wall-clock time of the run (not
+	// deterministic; excluded from checkpoints).
+	WallSeconds float64
+}
+
+// SessionsPerSec is the engine's headline throughput figure.
+func (s *Stats) SessionsPerSec() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(s.Sessions) / s.WallSeconds
+}
+
+// event is one calendar entry: session id due at virtual time t. A session
+// id whose session has not been created yet is an arrival; otherwise it is
+// a parked decision.
+type event struct {
+	t  float64
+	id int
+}
+
+// eventHeap orders events by (time, id) — the id tiebreak pins batch
+// assembly order, so runs are reproducible even with colliding timestamps.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// session is one live viewer session: a goroutine running the real
+// experiment.RunOneHooked, parked at every decision point.
+type session struct {
+	e       *engine
+	id      int
+	arrival float64
+
+	resume chan struct{}
+
+	// Session-goroutine state, read by the engine only after wg.Wait.
+	alg      abr.Algorithm
+	deferred abr.DeferredAlgorithm
+	dp       *core.DeferredPredictor
+	parkT    float64
+	done     bool
+	result   experiment.SessionResult
+}
+
+// engine coordinates the event loop.
+type engine struct {
+	trial *experiment.Config
+	cfg   Config
+	svc   *InferenceService
+
+	sessions []*session
+	results  []experiment.SessionResult
+	ends     []float64
+	events   eventHeap
+
+	wg        sync.WaitGroup
+	sem       chan struct{}
+	decisions int64
+	staged    int64
+}
+
+// Decide implements experiment.DecideHook: it stages deferrable prediction
+// work, parks the session at its global virtual time, and completes the
+// decision after the engine's inference flush — returning exactly what
+// alg.Choose(obs) would have.
+func (s *session) Decide(alg abr.Algorithm, obs *abr.Observation, now float64) int {
+	if s.alg == nil {
+		s.alg = alg
+		if d, ok := alg.(abr.DeferredAlgorithm); ok {
+			s.deferred = d
+			s.dp = deferify(alg)
+		}
+	}
+	t := s.arrival + now
+	if s.deferred != nil {
+		s.deferred.PrepareChoose(obs)
+		s.park(t)
+		return s.deferred.FinishChoose(obs)
+	}
+	s.park(t)
+	return alg.Choose(obs)
+}
+
+// park suspends the session until the engine resumes it, releasing its
+// worker token while suspended.
+func (s *session) park(t float64) {
+	s.parkT = t
+	<-s.e.sem // release worker token
+	s.e.wg.Done()
+	<-s.resume
+	s.e.sem <- struct{}{} // reacquire before computing again
+}
+
+// run executes the whole session and records completion.
+func (s *session) run() {
+	s.e.sem <- struct{}{}
+	res := s.e.trial.RunOneHooked(s.id, s)
+	s.result = res
+	s.done = true
+	<-s.e.sem
+	s.e.wg.Done()
+}
+
+// deferify rewires a freshly built per-session algorithm so its TTP-backed
+// predictor stages batched fills instead of running them: it unwraps
+// exploration layers, and when the MPC's predictor is the core TTP
+// predictor, swaps in a DeferredPredictor and returns it. Algorithms
+// without a TTP (BBA, the harmonic-mean MPCs) return nil and simply compute
+// at their decision points.
+func deferify(alg abr.Algorithm) *core.DeferredPredictor {
+	for {
+		switch a := alg.(type) {
+		case *abr.Explorer:
+			alg = a.Base
+		case *abr.MPC:
+			if p, ok := a.Pred.(*core.Predictor); ok {
+				dp := core.NewDeferredPredictor(p)
+				a.Pred = dp
+				return dp
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// RunTrial executes one randomized trial on the fleet engine and returns
+// the shard-folded accumulator — byte-identical to the sequential sharded
+// runner at the same trial config — together with the run's occupancy and
+// batching statistics.
+func RunTrial(trial *experiment.Config, cfg Config) (*experiment.TrialAcc, *Stats, error) {
+	if len(trial.Schemes) == 0 {
+		return nil, nil, fmt.Errorf("fleet: no schemes configured")
+	}
+	if trial.Sessions <= 0 {
+		return nil, nil, fmt.Errorf("fleet: Sessions = %d, must be positive", trial.Sessions)
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 0.25
+	}
+	if cfg.Arrivals == nil {
+		cfg.Arrivals = PoissonArrivals{Rate: 1}
+	}
+	start := time.Now()
+
+	n := trial.Sessions
+	e := &engine{
+		trial:    trial,
+		cfg:      cfg,
+		svc:      NewInferenceService(),
+		sessions: make([]*session, n),
+		results:  make([]experiment.SessionResult, n),
+		ends:     make([]float64, n),
+		sem:      make(chan struct{}, cfg.Workers),
+	}
+	arrivals := ArrivalTimes(cfg.Arrivals, trial.Seed, n)
+	e.events = make(eventHeap, 0, n)
+	for id, t := range arrivals {
+		e.events = append(e.events, event{t, id})
+	}
+	heap.Init(&e.events)
+
+	batch := make([]*session, 0, n)
+	spawns := make([]*session, 0, n)
+	for e.events.Len() > 0 {
+		tickEnd := e.events[0].t + cfg.Tick
+		batch = batch[:0]
+		// Drain the tick window: spawn arrivals (running each to its
+		// first decision, a window's arrivals in parallel), collect
+		// parked sessions due in the window. Spawned sessions' first
+		// parks usually land inside the window, so the outer loop
+		// re-drains until nothing before tickEnd remains.
+		for e.events.Len() > 0 && e.events[0].t < tickEnd {
+			spawns = spawns[:0]
+			for e.events.Len() > 0 && e.events[0].t < tickEnd {
+				ev := heap.Pop(&e.events).(event)
+				s := e.sessions[ev.id]
+				if s == nil {
+					s = &session{e: e, id: ev.id, arrival: arrivals[ev.id], resume: make(chan struct{})}
+					e.sessions[ev.id] = s
+					spawns = append(spawns, s)
+					continue
+				}
+				batch = append(batch, s)
+			}
+			if len(spawns) == 0 {
+				break
+			}
+			e.wg.Add(len(spawns))
+			for _, s := range spawns {
+				go s.run()
+			}
+			e.wg.Wait()
+			for _, s := range spawns {
+				e.afterYield(s)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		// One cross-session inference flush covers every staged step of
+		// the tick, then the batch advances in parallel to the next
+		// decision points.
+		for _, s := range batch {
+			if s.dp != nil {
+				e.svc.Enqueue(s.dp.Pending())
+			}
+		}
+		e.svc.Flush()
+		for _, s := range batch {
+			if s.dp != nil {
+				s.dp.Clear()
+			}
+		}
+		e.wg.Add(len(batch))
+		for _, s := range batch {
+			s.resume <- struct{}{}
+		}
+		e.wg.Wait()
+		for _, s := range batch {
+			e.afterYield(s)
+		}
+	}
+
+	// Fold completed sessions through the canonical sharded aggregation
+	// (shared with the sequential runner), so pooled stats are
+	// byte-identical across engines by construction.
+	total := experiment.FoldShards(n, cfg.ShardSize, experiment.AllPaths,
+		func(id int) *experiment.SessionResult { return &e.results[id] })
+
+	occ := telemetry.NewConcurrencySeries(arrivals, e.ends)
+	st := &Stats{
+		Sessions:       n,
+		Occupancy:      occ,
+		PeakConcurrent: occ.Peak(),
+		MeanConcurrent: occ.Mean(),
+		Decisions:      e.decisions,
+		Deferred:       e.staged,
+		Flushes:        e.svc.flushes,
+		Batches:        e.svc.batches,
+		Rows:           e.svc.rows,
+		MaxBatchRows:   e.svc.maxBatch,
+		ModelSnapshots: e.svc.snapshots,
+		WallSeconds:    time.Since(start).Seconds(),
+	}
+	if len(occ.Points) > 0 {
+		st.HorizonSeconds = occ.Points[len(occ.Points)-1].Time - occ.Points[0].Time
+	}
+	if st.Batches > 0 {
+		st.MeanBatchRows = float64(st.Rows) / float64(st.Batches)
+	}
+	return total, st, nil
+}
+
+// afterYield books one yielded session: completed sessions record their
+// result and departure, parked ones re-enter the calendar at their decision
+// time.
+func (e *engine) afterYield(s *session) {
+	e.decisions++ // every yield is one decision except the completion yield
+	if s.done {
+		e.decisions--
+		e.results[s.id] = s.result
+		e.ends[s.id] = s.arrival + s.result.Duration
+		e.sessions[s.id] = nil // release the goroutine's session state
+		return
+	}
+	if s.dp != nil && len(s.dp.Pending()) > 0 {
+		e.staged++
+	}
+	heap.Push(&e.events, event{s.parkT, s.id})
+}

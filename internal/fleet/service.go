@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"puffer/internal/core"
+	"puffer/internal/nn"
+)
+
+// InferenceService executes the staged prediction work of many concurrent
+// sessions. Sessions park at their decision points with feature rows staged
+// per horizon net (core.PendingStep); the service concatenates every row
+// due in the current virtual tick into one batch per net and runs a single
+// batched forward-plus-softmax pass over each, then finishes every step
+// (throughput conversion, point-estimate collapse) exactly as the direct
+// path would.
+//
+// The service owns one packed snapshot (nn.PackedMLP: transposed weights,
+// SIMD kernel) per distinct net it has seen — the per-model "compiled
+// artifact" a centralized server can afford to build once and reuse across
+// every request, which ephemeral per-session predictors cannot. Snapshots
+// are keyed by net identity, so a model rotation (new *nn.MLP values)
+// naturally repacks. Rows are bitwise identical to the per-session path
+// regardless of how they are batched. Not safe for concurrent use.
+type InferenceService struct {
+	groups map[*nn.MLP]*serviceGroup
+	order  []*serviceGroup // first-use order: deterministic iteration
+	feats  []float64
+	probs  []float64
+
+	// Aggregate counters (deterministic for a deterministic workload).
+	flushes   int
+	batches   int
+	rows      int64
+	maxBatch  int
+	snapshots int
+}
+
+// serviceGroup is the per-net batch under assembly plus the packed model.
+type serviceGroup struct {
+	net    *nn.MLP
+	packed *nn.PackedMLP
+	ws     *nn.BatchWorkspace
+	pend   []*core.PendingStep
+	rowSum int
+}
+
+// NewInferenceService returns an empty service.
+func NewInferenceService() *InferenceService {
+	return &InferenceService{groups: make(map[*nn.MLP]*serviceGroup)}
+}
+
+// Enqueue stages one session's pending steps into the current batch. The
+// steps (and their buffers) must stay valid until the next Flush returns.
+func (s *InferenceService) Enqueue(steps []core.PendingStep) {
+	for i := range steps {
+		ps := &steps[i]
+		g, ok := s.groups[ps.Net]
+		if !ok {
+			g = &serviceGroup{
+				net:    ps.Net,
+				packed: ps.Net.NewPacked(),
+				ws:     ps.Net.NewBatchWorkspace(64),
+			}
+			s.groups[ps.Net] = g
+			s.order = append(s.order, g)
+			s.snapshots++
+		}
+		g.pend = append(g.pend, ps)
+		g.rowSum += ps.Rows
+	}
+}
+
+// Flush executes one cross-session batch per net over everything staged
+// since the previous flush and completes every step's distributions.
+func (s *InferenceService) Flush() {
+	any := false
+	for _, g := range s.order {
+		if g.rowSum == 0 {
+			continue
+		}
+		any = true
+		dim := g.net.InputSize()
+		nOut := g.net.OutputSize()
+		s.feats = growFloats(s.feats, g.rowSum*dim)
+		s.probs = growFloats(s.probs, g.rowSum*nOut)
+		at := 0
+		for _, ps := range g.pend {
+			copy(s.feats[at*dim:(at+ps.Rows)*dim], ps.Feats[:ps.Rows*dim])
+			at += ps.Rows
+		}
+		g.packed.PredictDistBatch(g.ws, s.feats[:g.rowSum*dim], g.rowSum, s.probs[:g.rowSum*nOut])
+		at = 0
+		for _, ps := range g.pend {
+			ps.Finish(s.probs[at*nOut : (at+ps.Rows)*nOut])
+			at += ps.Rows
+		}
+		s.batches++
+		s.rows += int64(g.rowSum)
+		if g.rowSum > s.maxBatch {
+			s.maxBatch = g.rowSum
+		}
+		g.pend = g.pend[:0]
+		g.rowSum = 0
+	}
+	if any {
+		s.flushes++
+	}
+}
+
+// growFloats resizes s to n elements, reusing capacity when possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,93 @@
+//go:build amd64
+
+package nn
+
+// useAVX2 gates the packed SIMD kernel: the CPU must support AVX2 and the
+// OS must have enabled YMM state saving.
+var useAVX2 = detectAVX2()
+
+// useAVX512 upgrades the packed kernel to 512-bit vectors when the CPU and
+// OS support AVX-512F (ZMM state enabled).
+var useAVX512 = useAVX2 && detectAVX512()
+
+// affineRowTAVX2 computes one sample's affine layer over transposed weights:
+//
+//	dst[o] = bias[o] + Σ_i wt[i*nOut+o]·x[i]
+//
+// with each output accumulated in ascending input order and a separate
+// multiply and add rounding per term (VMULPD+VADDPD, never FMA), so every
+// element is bitwise identical to the scalar affineBatch accumulation.
+//
+//go:noescape
+func affineRowTAVX2(dst, bias, x, wt *float64, nIn, nOut int)
+
+// affineRowTAVX512 is the same contract on 512-bit vectors.
+//
+//go:noescape
+func affineRowTAVX512(dst, bias, x, wt *float64, nIn, nOut int)
+
+// affineRowT dispatches one packed affine row to the widest supported
+// kernel. Callers must have checked useAVX2.
+func affineRowT(dst, bias, x, wt *float64, nIn, nOut int) {
+	if useAVX512 {
+		affineRowTAVX512(dst, bias, x, wt, nIn, nOut)
+		return
+	}
+	affineRowTAVX2(dst, bias, x, wt, nIn, nOut)
+}
+
+// reluVecAVX2 and reluVecAVX512 clamp non-positive entries (and NaN) to +0
+// in place, branchlessly — element-for-element identical to reluInPlace.
+//
+//go:noescape
+func reluVecAVX2(v *float64, n int)
+
+//go:noescape
+func reluVecAVX512(v *float64, n int)
+
+// reluVec dispatches the in-place ReLU to the widest supported kernel.
+// Callers must have checked useAVX2.
+func reluVec(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	if useAVX512 {
+		reluVecAVX512(&v[0], len(v))
+		return
+	}
+	reluVecAVX2(&v[0], len(v))
+}
+
+// cpuid executes the CPUID instruction for (leaf, subleaf).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2 checks CPU support for AVX2 and OS support for YMM state.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const osxsave, avx = 1 << 27, 1 << 28
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0
+}
+
+// detectAVX512 checks CPU support for AVX-512F and OS support for the
+// opmask/ZMM state (XCR0 bits 5-7 alongside SSE/YMM).
+func detectAVX512() bool {
+	if xcr0, _ := xgetbv0(); xcr0&0xE6 != 0xE6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<16) != 0
+}

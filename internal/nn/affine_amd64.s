@@ -1,0 +1,356 @@
+// AVX2 kernel for the packed (transposed-weight) affine layer, plus the
+// CPUID/XGETBV probes that gate it.
+//
+// The kernel vectorizes across outputs: weights are input-major
+// (wt[i*nOut+o]), so the 4/8/16 outputs of a block load as unit-stride
+// vectors while x[i] broadcasts. Each output element still accumulates in
+// ascending input order starting from its bias, with a separate VMULPD and
+// VADDPD rounding per term (no FMA contraction), so results are bitwise
+// identical to the scalar kernel in math.go.
+
+#include "textflag.h"
+
+// func affineRowTAVX2(dst, bias, x, wt *float64, nIn, nOut int)
+TEXT ·affineRowTAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ bias+8(FP), SI
+	MOVQ x+16(FP), DX
+	MOVQ wt+24(FP), CX
+	MOVQ nIn+32(FP), R8
+	MOVQ nOut+40(FP), R9
+	MOVQ R9, R10
+	SHLQ $3, R10              // wt row stride in bytes (nOut*8)
+	XORQ R11, R11             // o := 0
+
+o16:	// blocks of 16 outputs
+	MOVQ R9, AX
+	SUBQ R11, AX
+	CMPQ AX, $16
+	JLT  o8
+	VMOVUPD (SI)(R11*8), Y0   // accumulators start from the bias
+	VMOVUPD 32(SI)(R11*8), Y1
+	VMOVUPD 64(SI)(R11*8), Y2
+	VMOVUPD 96(SI)(R11*8), Y3
+	LEAQ (CX)(R11*8), R12     // &wt[0*nOut+o]
+	MOVQ DX, R13              // &x[0]
+	MOVQ R8, R14              // i countdown
+i16:
+	TESTQ R14, R14
+	JZ    s16
+	VBROADCASTSD (R13), Y4
+	VMOVUPD (R12), Y5
+	VMOVUPD 32(R12), Y6
+	VMOVUPD 64(R12), Y7
+	VMOVUPD 96(R12), Y8
+	VMULPD Y4, Y5, Y5
+	VMULPD Y4, Y6, Y6
+	VMULPD Y4, Y7, Y7
+	VMULPD Y4, Y8, Y8
+	VADDPD Y5, Y0, Y0
+	VADDPD Y6, Y1, Y1
+	VADDPD Y7, Y2, Y2
+	VADDPD Y8, Y3, Y3
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  i16
+s16:
+	VMOVUPD Y0, (DI)(R11*8)
+	VMOVUPD Y1, 32(DI)(R11*8)
+	VMOVUPD Y2, 64(DI)(R11*8)
+	VMOVUPD Y3, 96(DI)(R11*8)
+	ADDQ $16, R11
+	JMP  o16
+
+o8:	// one block of 8 outputs
+	MOVQ R9, AX
+	SUBQ R11, AX
+	CMPQ AX, $8
+	JLT  o4
+	VMOVUPD (SI)(R11*8), Y0
+	VMOVUPD 32(SI)(R11*8), Y1
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+i8:
+	TESTQ R14, R14
+	JZ    s8
+	VBROADCASTSD (R13), Y4
+	VMOVUPD (R12), Y5
+	VMOVUPD 32(R12), Y6
+	VMULPD Y4, Y5, Y5
+	VMULPD Y4, Y6, Y6
+	VADDPD Y5, Y0, Y0
+	VADDPD Y6, Y1, Y1
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  i8
+s8:
+	VMOVUPD Y0, (DI)(R11*8)
+	VMOVUPD Y1, 32(DI)(R11*8)
+	ADDQ $8, R11
+	JMP  o8
+
+o4:	// one block of 4 outputs
+	MOVQ R9, AX
+	SUBQ R11, AX
+	CMPQ AX, $4
+	JLT  o1
+	VMOVUPD (SI)(R11*8), Y0
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+i4:
+	TESTQ R14, R14
+	JZ    s4
+	VBROADCASTSD (R13), Y4
+	VMOVUPD (R12), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  i4
+s4:
+	VMOVUPD Y0, (DI)(R11*8)
+	ADDQ $4, R11
+	JMP  o4
+
+o1:	// scalar tail outputs
+	CMPQ R11, R9
+	JGE  done
+	VMOVSD (SI)(R11*8), X0
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+i1:
+	TESTQ R14, R14
+	JZ    s1
+	VMOVSD (R13), X4
+	VMULSD (R12), X4, X4
+	VADDSD X4, X0, X0
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  i1
+s1:
+	VMOVSD X0, (DI)(R11*8)
+	INCQ R11
+	JMP  o1
+
+done:
+	VZEROUPPER
+	RET
+
+// func affineRowTAVX512(dst, bias, x, wt *float64, nIn, nOut int)
+//
+// Same contract as affineRowTAVX2 on 512-bit vectors: blocks of 32 and 8
+// outputs accumulate from the bias in ascending input order with separate
+// VMULPD/VADDPD roundings, then the AVX2-style 4-wide and scalar tails
+// finish the remainder.
+TEXT ·affineRowTAVX512(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ bias+8(FP), SI
+	MOVQ x+16(FP), DX
+	MOVQ wt+24(FP), CX
+	MOVQ nIn+32(FP), R8
+	MOVQ nOut+40(FP), R9
+	MOVQ R9, R10
+	SHLQ $3, R10              // wt row stride in bytes (nOut*8)
+	XORQ R11, R11             // o := 0
+
+z32:	// blocks of 32 outputs
+	MOVQ R9, AX
+	SUBQ R11, AX
+	CMPQ AX, $32
+	JLT  z8
+	VMOVUPD (SI)(R11*8), Z0
+	VMOVUPD 64(SI)(R11*8), Z1
+	VMOVUPD 128(SI)(R11*8), Z2
+	VMOVUPD 192(SI)(R11*8), Z3
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+zi32:
+	TESTQ R14, R14
+	JZ    zs32
+	VBROADCASTSD (R13), Z4
+	VMOVUPD (R12), Z5
+	VMOVUPD 64(R12), Z6
+	VMOVUPD 128(R12), Z7
+	VMOVUPD 192(R12), Z8
+	VMULPD Z4, Z5, Z5
+	VMULPD Z4, Z6, Z6
+	VMULPD Z4, Z7, Z7
+	VMULPD Z4, Z8, Z8
+	VADDPD Z5, Z0, Z0
+	VADDPD Z6, Z1, Z1
+	VADDPD Z7, Z2, Z2
+	VADDPD Z8, Z3, Z3
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  zi32
+zs32:
+	VMOVUPD Z0, (DI)(R11*8)
+	VMOVUPD Z1, 64(DI)(R11*8)
+	VMOVUPD Z2, 128(DI)(R11*8)
+	VMOVUPD Z3, 192(DI)(R11*8)
+	ADDQ $32, R11
+	JMP  z32
+
+z8:	// blocks of 8 outputs
+	MOVQ R9, AX
+	SUBQ R11, AX
+	CMPQ AX, $8
+	JLT  z4
+	VMOVUPD (SI)(R11*8), Z0
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+zi8:
+	TESTQ R14, R14
+	JZ    zs8
+	VBROADCASTSD (R13), Z4
+	VMOVUPD (R12), Z5
+	VMULPD Z4, Z5, Z5
+	VADDPD Z5, Z0, Z0
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  zi8
+zs8:
+	VMOVUPD Z0, (DI)(R11*8)
+	ADDQ $8, R11
+	JMP  z8
+
+z4:	// one block of 4 outputs (AVX2 width)
+	MOVQ R9, AX
+	SUBQ R11, AX
+	CMPQ AX, $4
+	JLT  z1
+	VMOVUPD (SI)(R11*8), Y0
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+zi4:
+	TESTQ R14, R14
+	JZ    zs4
+	VBROADCASTSD (R13), Y4
+	VMOVUPD (R12), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  zi4
+zs4:
+	VMOVUPD Y0, (DI)(R11*8)
+	ADDQ $4, R11
+	JMP  z4
+
+z1:	// scalar tail outputs
+	CMPQ R11, R9
+	JGE  zdone
+	VMOVSD (SI)(R11*8), X0
+	LEAQ (CX)(R11*8), R12
+	MOVQ DX, R13
+	MOVQ R8, R14
+zi1:
+	TESTQ R14, R14
+	JZ    zs1
+	VMOVSD (R13), X4
+	VMULSD (R12), X4, X4
+	VADDSD X4, X0, X0
+	ADDQ $8, R13
+	ADDQ R10, R12
+	DECQ R14
+	JMP  zi1
+zs1:
+	VMOVSD X0, (DI)(R11*8)
+	INCQ R11
+	JMP  z1
+
+zdone:
+	VZEROUPPER
+	RET
+
+// func reluVecAVX2(v *float64, n int)
+//
+// Branchless in-place ReLU: v[i] = v[i] > 0 ? v[i] : +0. VMAXPD with +0 as
+// the second source reproduces the scalar rule exactly: negatives, -0, and
+// NaN all map to +0, positives pass through.
+TEXT ·reluVecAVX2(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	VXORPD Y1, Y1, Y1
+r4:
+	CMPQ CX, $4
+	JLT  rtail
+	VMOVUPD (DI), Y0
+	VMAXPD Y1, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  r4
+rtail:
+	TESTQ CX, CX
+	JZ    rdone
+	VMOVSD (DI), X0
+	VXORPD X1, X1, X1
+	VMAXSD X1, X0, X0
+	VMOVSD X0, (DI)
+	ADDQ $8, DI
+	DECQ CX
+	JMP  rtail
+rdone:
+	VZEROUPPER
+	RET
+
+// func reluVecAVX512(v *float64, n int)
+TEXT ·reluVecAVX512(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	VPXORQ Z1, Z1, Z1
+r8:
+	CMPQ CX, $8
+	JLT  r512tail
+	VMOVUPD (DI), Z0
+	VMAXPD Z1, Z0, Z0
+	VMOVUPD Z0, (DI)
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  r8
+r512tail:
+	TESTQ CX, CX
+	JZ    r512done
+	VMOVSD (DI), X0
+	VXORPD X1, X1, X1
+	VMAXSD X1, X0, X0
+	VMOVSD X0, (DI)
+	ADDQ $8, DI
+	DECQ CX
+	JMP  r512tail
+r512done:
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package nn
+
+// useAVX2 is false off amd64: the packed path serves through the portable
+// batched kernel instead.
+const useAVX2 = false
+
+// affineRowT is unreachable when useAVX2 is false; the stub keeps the
+// packed path compiling on every platform.
+func affineRowT(dst, bias, x, wt *float64, nIn, nOut int) {
+	panic("nn: affineRowT called without SIMD support")
+}
+
+// reluVec is unreachable when useAVX2 is false.
+func reluVec(v []float64) {
+	panic("nn: reluVec called without SIMD support")
+}

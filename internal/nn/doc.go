@@ -6,14 +6,27 @@
 // regression head, SGD and Adam optimizers, per-sample weighting (the
 // paper's recency-weighted training), and gob serialization.
 //
-// Inference has two paths. The scalar path (MLP.ForwardInto,
+// Inference has three paths. The scalar path (MLP.ForwardInto,
 // MLP.PredictDist with a Workspace) runs a single sample through per-layer
 // dot products. The batched path (MLP.ForwardBatchInto, MLP.PredictDistBatch
 // with a BatchWorkspace) runs B samples per call over flat row-major
 // activation matrices with a register-blocked kernel; it produces bitwise
 // identical outputs to the scalar path (same per-element summation order)
 // while amortizing weight loads across samples. Hot callers — the MPC
-// distribution fill in particular — should batch.
+// distribution fill in particular — should batch. The packed path
+// (MLP.NewPacked -> PackedMLP) is an immutable transposed-weight snapshot
+// for serving: on amd64 with AVX2/AVX-512 it runs hand-written vector
+// kernels that keep every output's ascending-input accumulation and
+// separate multiply/add roundings (no FMA), so packed results are bitwise
+// identical to the other two paths; elsewhere it falls back to the batched
+// kernel. The fleet engine's cross-session InferenceService is its main
+// consumer.
+//
+// Training is batched through the same kernels: Trainer.TrainClassBatch
+// runs the minibatch forward, the gradient accumulation, and the delta
+// propagation as matrix passes whose per-element accumulation order matches
+// the retained per-sample reference exactly (differential-tested to
+// bitwise-equal weights).
 //
 // Main entry points:
 //

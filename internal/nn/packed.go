@@ -1,0 +1,121 @@
+package nn
+
+import "fmt"
+
+// PackedMLP is an immutable inference-time snapshot of an MLP, prepared for
+// high-throughput batched serving: each layer's weights are copied into a
+// transposed slab (input-major, so a kernel sweeping 4-16 outputs at a time
+// loads unit-stride vectors), and biases and a reference clone are copied
+// alongside. Because it is a snapshot, results never depend on later
+// mutation of the source network — a centralized inference service can build
+// one PackedMLP per deployed model and reuse it across every request until
+// the model rotates.
+//
+// Forward results are bitwise identical to MLP.ForwardBatchInto row for row:
+// on amd64 with AVX2 the kernel vectorizes across outputs while keeping each
+// output's accumulation in ascending input order with a separate multiply
+// and add rounding per term (no FMA contraction); elsewhere it falls back to
+// the snapshot clone's portable batched kernel.
+type PackedMLP struct {
+	sizes []int
+	// wt[l] is layer l's transposed weight matrix, input-major:
+	// wt[l][i*nOut+o] == W[l][o*nIn+i].
+	wt [][]float64
+	// bias[l] is a copy of B[l].
+	bias [][]float64
+	// ref is a private deep copy of the source network, used by the
+	// portable fallback path (and by workspace allocation) so snapshot
+	// semantics hold on every platform.
+	ref *MLP
+}
+
+// NewPacked snapshots the network into its packed serving form.
+func (m *MLP) NewPacked() *PackedMLP {
+	p := &PackedMLP{
+		sizes: append([]int(nil), m.Sizes...),
+		wt:    make([][]float64, m.NumLayers()),
+		bias:  make([][]float64, m.NumLayers()),
+		ref:   m.Clone(),
+	}
+	for l := 0; l < m.NumLayers(); l++ {
+		nIn, nOut := m.Sizes[l], m.Sizes[l+1]
+		wt := make([]float64, nIn*nOut)
+		for o := 0; o < nOut; o++ {
+			row := m.W[l][o*nIn : (o+1)*nIn]
+			for i, v := range row {
+				wt[i*nOut+o] = v
+			}
+		}
+		p.wt[l] = wt
+		p.bias[l] = append([]float64(nil), m.B[l]...)
+	}
+	return p
+}
+
+// InputSize returns the expected input vector length.
+func (p *PackedMLP) InputSize() int { return p.sizes[0] }
+
+// OutputSize returns the output vector length.
+func (p *PackedMLP) OutputSize() int { return p.sizes[len(p.sizes)-1] }
+
+// SameShape reports whether the snapshot matches the layer sizes of m (and
+// can therefore share batch workspaces with it).
+func (p *PackedMLP) SameShape(m *MLP) bool { return sameSizes(p.sizes, m.Sizes) }
+
+// NewBatchWorkspace allocates a batch workspace for this snapshot's shape.
+func (p *PackedMLP) NewBatchWorkspace(maxRows int) *BatchWorkspace {
+	return p.ref.NewBatchWorkspace(maxRows)
+}
+
+// ForwardBatchInto runs rows samples through the packed network, one pass
+// per layer, exactly like MLP.ForwardBatchInto (same contract, same aliasing
+// of the workspace, bitwise-identical logits per row).
+func (p *PackedMLP) ForwardBatchInto(ws *BatchWorkspace, xs []float64, rows int) []float64 {
+	if !useAVX2 {
+		return p.ref.ForwardBatchInto(ws, xs, rows)
+	}
+	if rows <= 0 {
+		panic(fmt.Sprintf("nn: ForwardBatchInto rows = %d, want >= 1", rows))
+	}
+	if len(xs) != rows*p.InputSize() {
+		panic(fmt.Sprintf("nn: batch input length %d, want %d rows x %d", len(xs), rows, p.InputSize()))
+	}
+	ws.ensure(p.ref, rows)
+	in := xs
+	last := len(p.sizes) - 2
+	for l := 0; l <= last; l++ {
+		nIn, nOut := p.sizes[l], p.sizes[l+1]
+		out := ws.acts[l][:rows*nOut]
+		bias, wt := p.bias[l], p.wt[l]
+		for r := 0; r < rows; r++ {
+			affineRowT(&out[r*nOut], &bias[0], &in[r*nIn], &wt[0], nIn, nOut)
+		}
+		if l != last {
+			reluVec(out)
+		}
+		in = out
+	}
+	return in
+}
+
+// PredictDistBatch runs a packed batched forward pass and softmaxes each row
+// of logits into dst, mirroring MLP.PredictDistBatch exactly.
+func (p *PackedMLP) PredictDistBatch(ws *BatchWorkspace, xs []float64, rows int, dst []float64) []float64 {
+	logits := p.ForwardBatchInto(ws, xs, rows)
+	nOut := p.OutputSize()
+	if dst == nil {
+		dst = make([]float64, rows*nOut)
+	}
+	if len(dst) != rows*nOut {
+		panic(fmt.Sprintf("nn: batch dist length %d, want %d rows x %d", len(dst), rows, nOut))
+	}
+	for r := 0; r < rows; r++ {
+		Softmax(dst[r*nOut:(r+1)*nOut], logits[r*nOut:(r+1)*nOut])
+	}
+	return dst
+}
+
+// Accelerated reports whether the packed path runs the SIMD kernel on this
+// machine (false means the snapshot falls back to the portable batched
+// kernel — still correct, just without the serving-side speedup).
+func Accelerated() bool { return useAVX2 }

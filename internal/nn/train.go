@@ -112,6 +112,66 @@ type Trainer struct {
 	ws           *Workspace
 	gradW, gradB [][]float64
 	probs        []float64
+	bt           *batchTrainWS
+}
+
+// batchTrainWS holds the flat row-major matrices one batched training step
+// needs: the packed input batch, per-layer pre- and post-activations from
+// the forward pass, per-layer deltas for the backward pass, and scratch for
+// the SIMD fast path (transposed weights, a zero bias, a delta column, and
+// a per-output gradient row). It grows to the largest minibatch seen and
+// never allocates afterwards.
+type batchTrainWS struct {
+	rows  int
+	x     []float64
+	zs    [][]float64 // pre-activations per layer (relu mask + logits)
+	acts  [][]float64 // post-activations per layer (inputs to layer l+1)
+	delta [][]float64 // dLoss/dz per layer
+	wt    [][]float64 // transposed weights for the SIMD forward
+	zero  []float64   // all-zero bias for bias-free kernel calls
+	dcol  []float64   // one delta column, gathered contiguous
+	grow  []float64   // one gradient row accumulated by the kernel
+}
+
+// ensureBatchWS sizes the batched-training scratch for a rows-sample batch.
+func (t *Trainer) ensureBatchWS(rows int) *batchTrainWS {
+	bt := t.bt
+	if bt == nil {
+		bt = &batchTrainWS{
+			zs:    make([][]float64, t.Net.NumLayers()),
+			acts:  make([][]float64, t.Net.NumLayers()),
+			delta: make([][]float64, t.Net.NumLayers()),
+		}
+		if useAVX2 {
+			maxW := 0
+			for _, s := range t.Net.Sizes {
+				if s > maxW {
+					maxW = s
+				}
+			}
+			bt.wt = make([][]float64, t.Net.NumLayers())
+			for l := 0; l < t.Net.NumLayers(); l++ {
+				bt.wt[l] = make([]float64, len(t.Net.W[l]))
+			}
+			bt.zero = make([]float64, maxW)
+			bt.grow = make([]float64, maxW)
+		}
+		t.bt = bt
+	}
+	if rows > bt.rows {
+		bt.rows = rows
+		bt.x = make([]float64, rows*t.Net.InputSize())
+		for l := 0; l < t.Net.NumLayers(); l++ {
+			w := rows * t.Net.Sizes[l+1]
+			bt.zs[l] = make([]float64, w)
+			bt.acts[l] = make([]float64, w)
+			bt.delta[l] = make([]float64, w)
+		}
+		if useAVX2 {
+			bt.dcol = make([]float64, rows)
+		}
+	}
+	return bt
 }
 
 // NewTrainer creates a Trainer for net with the given optimizer.
@@ -191,7 +251,255 @@ func (t *Trainer) backprop(delta []float64) {
 // classification samples and returns the weighted mean cross-entropy loss
 // (nats). labels[i] indexes the true output bin; weights may be nil for
 // uniform weighting.
+//
+// The whole minibatch runs through the batched kernel: one affineBatch call
+// per layer forward (pre-activations retained for the ReLU mask), then a
+// layer-by-layer batched backward pass whose gradient matrices accumulate
+// in ascending-sample order per element — gradients, loss, and the updated
+// weights are bitwise identical to the retained per-sample reference
+// (trainClassPerSample), which exists as the differential-test oracle and
+// the before/after benchmark baseline.
 func (t *Trainer) TrainClassBatch(xs [][]float64, labels []int, weights []float64) float64 {
+	if len(xs) != len(labels) {
+		panic(fmt.Sprintf("nn: %d inputs vs %d labels", len(xs), len(labels)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	t.zeroGrads()
+	totalW := 0.0
+	if weights == nil {
+		totalW = float64(len(xs))
+	} else {
+		for _, w := range weights {
+			totalW += w
+		}
+	}
+	if totalW <= 0 {
+		return 0
+	}
+	net := t.Net
+	rows := len(xs)
+	bt := t.ensureBatchWS(rows)
+	nIn := net.InputSize()
+	for s, x := range xs {
+		if len(x) != nIn {
+			panic(fmt.Sprintf("nn: input length %d, want %d", len(x), nIn))
+		}
+		copy(bt.x[s*nIn:(s+1)*nIn], x)
+	}
+
+	// Forward: one batched affine per layer, keeping z (mask, logits) and
+	// the post-activation inputs of the next layer. The SIMD path runs the
+	// same per-row accumulation over freshly transposed weights (weights
+	// change every optimizer step, so the transpose is per minibatch — a
+	// few thousand copies against hundreds of thousands of multiplies).
+	in := bt.x[:rows*nIn]
+	last := net.NumLayers() - 1
+	for l := 0; l <= last; l++ {
+		nI, width := net.Sizes[l], net.Sizes[l+1]
+		z := bt.zs[l][:rows*width]
+		if useAVX2 {
+			wt := bt.wt[l]
+			for o := 0; o < width; o++ {
+				row := net.W[l][o*nI : (o+1)*nI]
+				for i, v := range row {
+					wt[i*width+o] = v
+				}
+			}
+			for r := 0; r < rows; r++ {
+				affineRowT(&z[r*width], &net.B[l][0], &in[r*nI], &wt[0], nI, width)
+			}
+		} else {
+			affineBatch(z, in, net.W[l], net.B[l], rows, nI, width)
+		}
+		if l == last {
+			break
+		}
+		a := bt.acts[l][:rows*width]
+		for i, v := range z {
+			if v > 0 {
+				a[i] = v
+			} else {
+				a[i] = 0
+			}
+		}
+		in = a
+	}
+
+	// Output deltas and loss. Zero-weight samples contribute a zero delta
+	// row, which the ascending-sample accumulation below treats exactly
+	// like the reference path's skip.
+	nOut := net.OutputSize()
+	logits := bt.zs[last]
+	dOut := bt.delta[last]
+	loss := 0.0
+	for s := 0; s < rows; s++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[s]
+		}
+		drow := dOut[s*nOut : (s+1)*nOut]
+		if w == 0 {
+			clearSlice(drow)
+			continue
+		}
+		Softmax(t.probs, logits[s*nOut:(s+1)*nOut])
+		lbl := labels[s]
+		if lbl < 0 || lbl >= len(t.probs) {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", lbl, len(t.probs)))
+		}
+		p := t.probs[lbl]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss += -w * math.Log(p)
+		scale := w / totalW
+		for i, pi := range t.probs {
+			drow[i] = pi * scale
+		}
+		drow[lbl] -= scale
+	}
+
+	// Backward: per layer, a ΔᵀA gradient accumulation plus the delta
+	// propagation d_{l-1} = (d_l · W_l) ⊙ relu'(z_{l-1}). Both are sums
+	// over one index in ascending order, which is exactly the transposed
+	// affine kernel's contract: the gradient row for output o sums over
+	// samples with the activation matrix as "weights" (already
+	// sample-major), and a sample's propagated delta sums over outputs
+	// with W itself as "weights" (already output-major) — so the SIMD
+	// path reuses affineRowT for both, with a zero bias.
+	for l := last; l >= 0; l-- {
+		nI, nO := net.Sizes[l], net.Sizes[l+1]
+		layerIn := bt.x
+		if l > 0 {
+			layerIn = bt.acts[l-1]
+		}
+		d := bt.delta[l]
+		if useAVX2 {
+			tmp := bt.grow[:nI]
+			gw := t.gradW[l]
+			for o := 0; o < nO; o++ {
+				for s := 0; s < rows; s++ {
+					bt.dcol[s] = d[s*nO+o]
+				}
+				affineRowT(&tmp[0], &bt.zero[0], &bt.dcol[0], &layerIn[0], rows, nI)
+				row := gw[o*nI : (o+1)*nI]
+				for i, v := range tmp {
+					row[i] += v
+				}
+			}
+		} else {
+			accumGradBlocked(t.gradW[l], d, layerIn, rows, nO, nI)
+		}
+		gb := t.gradB[l]
+		for o := 0; o < nO; o++ {
+			acc := 0.0
+			for s := 0; s < rows; s++ {
+				acc += d[s*nO+o]
+			}
+			gb[o] += acc
+		}
+		if l == 0 {
+			break
+		}
+		dp := bt.delta[l-1]
+		w := net.W[l]
+		z := bt.zs[l-1]
+		for s := 0; s < rows; s++ {
+			prow := dp[s*nI : (s+1)*nI]
+			if useAVX2 {
+				affineRowT(&prow[0], &bt.zero[0], &d[s*nO], &w[0], nO, nI)
+			} else {
+				clearSlice(prow)
+				for o, dv := range d[s*nO : (s+1)*nO] {
+					if dv == 0 {
+						continue
+					}
+					wrow := w[o*nI : (o+1)*nI]
+					for i, wv := range wrow {
+						prow[i] += wv * dv
+					}
+				}
+			}
+			zrow := z[s*nI : (s+1)*nI]
+			for i := range prow {
+				if zrow[i] <= 0 {
+					prow[i] = 0
+				}
+			}
+		}
+	}
+	t.Opt.Step(net, t.gradW, t.gradB)
+	return loss / totalW
+}
+
+// accumGradBlocked adds ΔᵀA into gw: gw[o*nIn+i] += Σ_s d[s*nOut+o] ·
+// a[s*nIn+i]. The 2x4 register blocking reuses each loaded delta across
+// four inputs and each loaded input across two outputs, while every element
+// still accumulates in ascending sample order — bitwise identical to the
+// per-sample rank-1 updates of the reference path, without re-walking the
+// whole gradient matrix once per sample.
+func accumGradBlocked(gw, d, a []float64, rows, nOut, nIn int) {
+	o := 0
+	for ; o+2 <= nOut; o += 2 {
+		g0 := gw[o*nIn : (o+1)*nIn]
+		g1 := gw[(o+1)*nIn : (o+2)*nIn]
+		i := 0
+		for ; i+4 <= nIn; i += 4 {
+			var a00, a01, a02, a03 float64
+			var a10, a11, a12, a13 float64
+			for s := 0; s < rows; s++ {
+				d0 := d[s*nOut+o]
+				d1 := d[s*nOut+o+1]
+				ar := a[s*nIn+i : s*nIn+i+4]
+				x0, x1, x2, x3 := ar[0], ar[1], ar[2], ar[3]
+				a00 += d0 * x0
+				a01 += d0 * x1
+				a02 += d0 * x2
+				a03 += d0 * x3
+				a10 += d1 * x0
+				a11 += d1 * x1
+				a12 += d1 * x2
+				a13 += d1 * x3
+			}
+			g0[i] += a00
+			g0[i+1] += a01
+			g0[i+2] += a02
+			g0[i+3] += a03
+			g1[i] += a10
+			g1[i+1] += a11
+			g1[i+2] += a12
+			g1[i+3] += a13
+		}
+		for ; i < nIn; i++ {
+			var s0, s1 float64
+			for s := 0; s < rows; s++ {
+				x := a[s*nIn+i]
+				s0 += d[s*nOut+o] * x
+				s1 += d[s*nOut+o+1] * x
+			}
+			g0[i] += s0
+			g1[i] += s1
+		}
+	}
+	for ; o < nOut; o++ {
+		g := gw[o*nIn : (o+1)*nIn]
+		for i := 0; i < nIn; i++ {
+			var sum float64
+			for s := 0; s < rows; s++ {
+				sum += d[s*nOut+o] * a[s*nIn+i]
+			}
+			g[i] += sum
+		}
+	}
+}
+
+// trainClassPerSample is the pre-batching implementation: forward one sample
+// at a time through the scalar path and backprop rank-1 gradient updates.
+// Retained as the differential-test oracle for TrainClassBatch and as the
+// before/after benchmark baseline.
+func (t *Trainer) trainClassPerSample(xs [][]float64, labels []int, weights []float64) float64 {
 	if len(xs) != len(labels) {
 		panic(fmt.Sprintf("nn: %d inputs vs %d labels", len(xs), len(labels)))
 	}

@@ -35,4 +35,8 @@
 //     and session factories.
 //   - BootstrapSchemes / DeploySchemes: the day-0 classical mixture and
 //     the steady-state Fugu+BBA mixture.
+//   - Config.Engine ("session" or "fleet"): the execution engine for each
+//     day's trial. The fleet engine multiplexes sessions in virtual time
+//     with cross-session batched inference (internal/fleet) and records a
+//     FleetDayStats per day; results are byte-identical across engines.
 package runner

@@ -10,6 +10,7 @@ import (
 	"puffer/internal/abr"
 	"puffer/internal/core"
 	"puffer/internal/experiment"
+	"puffer/internal/fleet"
 )
 
 // Config describes a continual experiment. Field comments state units and
@@ -35,6 +36,20 @@ type Config struct {
 	// Workers bounds shard parallelism (worker goroutines). Default (0):
 	// GOMAXPROCS. Results are identical for any worker count.
 	Workers int
+	// Engine selects each day's execution engine: "" or "session" runs
+	// the per-session sharded worker pool; "fleet" runs the virtual-time
+	// fleet engine (interleaved sessions, cross-session batched
+	// inference). Results are byte-identical across engines; only
+	// throughput and the serving-side telemetry differ.
+	Engine string
+	// ArrivalRate is the fleet engine's Poisson arrival intensity in
+	// sessions per virtual second. Default (0): 1. Ignored by the
+	// session engine; never changes results.
+	ArrivalRate float64
+	// FleetTick is the fleet engine's inference-batching tick in virtual
+	// seconds. Default (0): 0.25. Ignored by the session engine; never
+	// changes results.
+	FleetTick float64
 	// ShardSize is how many sessions each worker-pool shard covers.
 	// Default (0): 64. Results are independent of ShardSize up to
 	// floating-point reassociation of two scalar means; fix it for
@@ -74,6 +89,33 @@ type DayStats struct {
 	Examples []int
 	// Schemes is the day's per-arm analysis.
 	Schemes []experiment.SchemeStats
+	// Fleet is the serving-side record when the day ran on the fleet
+	// engine (nil on the session engine). Every field is deterministic,
+	// so checkpointed days replay byte-identically; wall-clock throughput
+	// is logged, never stored.
+	Fleet *FleetDayStats
+}
+
+// FleetDayStats summarizes one day of fleet-engine serving: occupancy of
+// the virtual-time multiplexer and the inference service's cross-session
+// batching counters.
+type FleetDayStats struct {
+	// PeakConcurrent and MeanConcurrent describe simultaneous live
+	// sessions over the day's virtual timeline of HorizonSeconds.
+	PeakConcurrent int
+	MeanConcurrent float64
+	HorizonSeconds float64
+	// Decisions counts ABR decisions; Deferred counts those whose
+	// inference went through the batched service.
+	Decisions int64
+	Deferred  int64
+	// Flushes, Batches, Rows, MaxBatchRows, and MeanBatchRows describe
+	// the service's batch shape (rows are ladder rungs per horizon step).
+	Flushes       int
+	Batches       int
+	Rows          int64
+	MaxBatchRows  int
+	MeanBatchRows float64
 }
 
 // Scheme returns the day's stats row for a named arm — how the per-day
@@ -212,6 +254,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	switch cfg.Engine {
+	case "", "session", "fleet":
+	default:
+		return nil, fmt.Errorf("runner: unknown Engine %q (want session or fleet)", cfg.Engine)
+	}
 
 	r := &state{
 		cfg:    cfg,
@@ -265,7 +312,23 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 		Day:      day,
 		Recorder: col,
 	}
-	acc, err := runDaySharded(&trial, cfg.ShardSize, cfg.Workers)
+	var acc *experiment.TrialAcc
+	var fst *fleet.Stats
+	var err error
+	if cfg.Engine == "fleet" {
+		rate := cfg.ArrivalRate
+		if rate <= 0 {
+			rate = 1
+		}
+		acc, fst, err = fleet.RunTrial(&trial, fleet.Config{
+			ShardSize: cfg.ShardSize,
+			Workers:   cfg.Workers,
+			Tick:      cfg.FleetTick,
+			Arrivals:  fleet.PoissonArrivals{Rate: rate},
+		})
+	} else {
+		acc, err = runDaySharded(&trial, cfg.ShardSize, cfg.Workers)
+	}
 	if err != nil {
 		return DayStats{}, nil, nil, err
 	}
@@ -276,6 +339,23 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 		Schemes: acc.Analyze(dayAnalysisSeed(cfg.Seed, day)),
 	}
 	cfg.Logf("day %d: %d sessions, %d chunks of telemetry", day, cfg.SessionsPerDay, ds.Chunks)
+	if fst != nil {
+		ds.Fleet = &FleetDayStats{
+			PeakConcurrent: fst.PeakConcurrent,
+			MeanConcurrent: fst.MeanConcurrent,
+			HorizonSeconds: fst.HorizonSeconds,
+			Decisions:      fst.Decisions,
+			Deferred:       fst.Deferred,
+			Flushes:        fst.Flushes,
+			Batches:        fst.Batches,
+			Rows:           fst.Rows,
+			MaxBatchRows:   fst.MaxBatchRows,
+			MeanBatchRows:  fst.MeanBatchRows,
+		}
+		cfg.Logf("  fleet: peak %d concurrent (mean %.1f) over %.0fs virtual, %d flushes, mean batch %.0f rows, %.0f sessions/sec wall",
+			fst.PeakConcurrent, fst.MeanConcurrent, fst.HorizonSeconds,
+			fst.Flushes, fst.MeanBatchRows, fst.SessionsPerSec())
+	}
 
 	// Nightly phase: bootstrap-train on day 0, warm-start-retrain when
 	// continual retraining is on; the frozen ablation keeps serving the
@@ -351,12 +431,14 @@ func (r *state) nightlyTrain(day int, today *core.Dataset) (core.TrainResult, *c
 // runDaySharded shards the day's sessions across a worker pool. Each shard
 // folds its sessions into a private TrialAcc — one live SessionResult per
 // worker, never a materialized day — and shards merge in shard order so the
-// aggregate is independent of scheduling.
+// aggregate is independent of scheduling. Shard boundaries and fold order
+// come from experiment.ShardRange/FoldShard, the canonical aggregation the
+// fleet engine replicates for byte-identical pooled stats.
 func runDaySharded(trial *experiment.Config, shardSize, workers int) (*experiment.TrialAcc, error) {
 	if len(trial.Schemes) == 0 {
 		return nil, fmt.Errorf("runner: no schemes configured")
 	}
-	nShards := (trial.Sessions + shardSize - 1) / shardSize
+	nShards := experiment.NumShards(trial.Sessions, shardSize)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -371,17 +453,8 @@ func runDaySharded(trial *experiment.Config, shardSize, workers int) (*experimen
 		go func() {
 			defer wg.Done()
 			for s := range shards {
-				acc := experiment.NewTrialAcc(experiment.AllPaths)
-				lo := s * shardSize
-				hi := lo + shardSize
-				if hi > trial.Sessions {
-					hi = trial.Sessions
-				}
-				for id := lo; id < hi; id++ {
-					sess := trial.RunOne(id)
-					acc.AddSession(&sess)
-				}
-				accs[s] = acc
+				lo, hi := experiment.ShardRange(trial.Sessions, shardSize, s)
+				accs[s] = trial.FoldShard(lo, hi, experiment.AllPaths)
 			}
 		}()
 	}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConcurrencySeries(t *testing.T) {
+	// Sessions: [0,10), [2,6), [2,4), [10,12) — peak 3 in [2,4).
+	starts := []float64{0, 2, 2, 10}
+	ends := []float64{10, 6, 4, 12}
+	s := NewConcurrencySeries(starts, ends)
+	if got := s.Peak(); got != 3 {
+		t.Fatalf("Peak = %d, want 3", got)
+	}
+	checks := map[float64]int{-1: 0, 0: 1, 2: 3, 3: 3, 4: 2, 5: 2, 6: 1, 9: 1, 10: 1, 11: 1, 12: 0}
+	for at, want := range checks {
+		if got := s.At(at); got != want {
+			t.Fatalf("At(%v) = %d, want %d", at, got, want)
+		}
+	}
+	// Time-weighted mean over [0,12): (1*2 + 3*2 + 2*2 + 1*4 + 1*2)/12.
+	want := (1.0*2 + 3*2 + 2*2 + 1*4 + 1*2) / 12
+	if got := s.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if pts := s.Sample(4); len(pts) != 4 || pts[1].Active != 2 {
+		t.Fatalf("Sample(4) = %+v", pts)
+	}
+}
+
+func TestConcurrencySeriesHandoff(t *testing.T) {
+	// A session ending exactly when another starts must not double-count.
+	s := NewConcurrencySeries([]float64{0, 5}, []float64{5, 8})
+	if got := s.Peak(); got != 1 {
+		t.Fatalf("Peak = %d, want 1 (no double count at handoff)", got)
+	}
+}
+
+func TestConcurrencySeriesEmpty(t *testing.T) {
+	s := NewConcurrencySeries(nil, nil)
+	if s.Peak() != 0 || s.Mean() != 0 || s.At(3) != 0 || s.Sample(1) != nil {
+		t.Fatal("empty series must be all zeros")
+	}
+}

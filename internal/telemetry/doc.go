@@ -18,4 +18,7 @@
 //     bitrate, path-rate mean).
 //   - WriteSummariesCSV / ReadSummariesCSV: the open-data-style exchange
 //     format.
+//   - ConcurrencySeries: the serving-side occupancy record (concurrently
+//     live sessions over virtual time), built from per-session intervals
+//     by the fleet engine.
 package telemetry

@@ -24,7 +24,16 @@
 // The continual (daily) loop is RunDaily; wrap an Env's path sampler in a
 // DriftingSampler (see DriftPreset) to make the deployment nonstationary —
 // the regime where the paper's daily retraining visibly beats a frozen
-// model instead of tying it. See ARCHITECTURE.md for the system view.
+// model instead of tying it.
+//
+// Trials can also run on the fleet engine (RunFleetTrial, or
+// DailyConfig.Engine = "fleet"): a discrete-event, virtual-time multiplexer
+// that serves hundreds of interleaved sessions at once — Poisson arrivals,
+// scheme randomization at arrival, and a central InferenceService that runs
+// each horizon net's forward pass as one cross-session batch over packed
+// SIMD model snapshots. Results are byte-identical to the per-session
+// engine at the same seeds; only throughput and the occupancy record
+// differ. See ARCHITECTURE.md for the system view.
 package puffer
 
 import (
@@ -34,9 +43,11 @@ import (
 	"puffer/internal/core"
 	"puffer/internal/experiment"
 	"puffer/internal/figures"
+	"puffer/internal/fleet"
 	"puffer/internal/netem"
 	"puffer/internal/pensieve"
 	"puffer/internal/runner"
+	"puffer/internal/telemetry"
 )
 
 // Re-exported types: the experiment harness.
@@ -100,6 +111,31 @@ type (
 	// DriftingSampler wraps any PathSampler with a DriftSchedule, making
 	// the simulated deployment nonstationary.
 	DriftingSampler = netem.DriftingSampler
+	// FleetConfig tunes the fleet engine: the discrete-event,
+	// virtual-time session multiplexer that interleaves hundreds of
+	// concurrent sessions and batches TTP inference across them. No
+	// field changes results — only throughput and the serving record.
+	FleetConfig = fleet.Config
+	// FleetStats is one fleet run's serving record: occupancy over
+	// virtual time plus the inference service's batching counters.
+	FleetStats = fleet.Stats
+	// FleetDayStats is the per-day serving record the daily loop stores
+	// when running on the fleet engine (DailyConfig.Engine = "fleet").
+	FleetDayStats = runner.FleetDayStats
+	// InferenceService executes many sessions' staged TTP fills as one
+	// cross-session batch per horizon net over packed (SIMD) model
+	// snapshots.
+	InferenceService = fleet.InferenceService
+	// ArrivalProcess draws session arrival times for the fleet engine.
+	ArrivalProcess = fleet.ArrivalProcess
+	// PoissonArrivals is the platform's natural workload model: Poisson
+	// session arrivals at a fixed intensity.
+	PoissonArrivals = fleet.PoissonArrivals
+	// BurstArrivals is a flash-crowd arrival shape (evenly spaced bursts).
+	BurstArrivals = fleet.BurstArrivals
+	// ConcurrencySeries counts concurrently live sessions over virtual
+	// time (the fleet engine's occupancy record).
+	ConcurrencySeries = telemetry.ConcurrencySeries
 )
 
 // Analysis filters (Figure 8's two panels).
@@ -213,6 +249,22 @@ func RunDaily(cfg DailyConfig) (*DailyResult, error) { return runner.Run(cfg) }
 // DriftPreset returns a named nonstationarity schedule ("none", "decay",
 // "shift", or "mix") for use with DriftingSampler.
 func DriftPreset(name string) (DriftSchedule, error) { return netem.DriftPreset(name) }
+
+// RunFleetTrial executes one randomized trial on the fleet engine:
+// sessions arrive by cfg's arrival process, interleave in virtual time, and
+// park at every ABR decision while the InferenceService runs each horizon
+// net's forward pass as one cross-session batch. The returned accumulator
+// is byte-identical to the per-session engine at the same seeds; the stats
+// report occupancy, batch shape, and wall throughput.
+func RunFleetTrial(cfg Config, fc FleetConfig) (*TrialAcc, *FleetStats, error) {
+	return fleet.RunTrial(&cfg, fc)
+}
+
+// FleetArrivalTimes reproduces the arrival schedule the fleet engine would
+// draw for a trial with this seed — deterministic per (process, seed, n).
+func FleetArrivalTimes(proc ArrivalProcess, seed int64, n int) []float64 {
+	return fleet.ArrivalTimes(proc, seed, n)
+}
 
 // StalenessGaps aligns two seed-paired RunDaily results day by day for the
 // named arm, yielding the per-day frozen-vs-retrained stall gap.
