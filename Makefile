@@ -13,7 +13,11 @@ DAILY_DIR ?= /tmp/puffer-daily-smoke
 # small enough that all four examples finish in seconds.
 EXAMPLE_SCALE ?= 0.1
 
-.PHONY: fmt fmt-check vet build test bench daily-smoke docs-smoke ci
+# Days/sessions/epochs multiplier for the scenario smoke run (every
+# registered scenario, clamped to 2 days x 8 sessions x 1 epoch minimum).
+SCENARIO_SCALE ?= 0.02
+
+.PHONY: fmt fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke ci
 
 fmt:
 	gofmt -w .
@@ -63,4 +67,23 @@ docs-smoke:
 	PUFFER_EXAMPLE_SCALE=$(EXAMPLE_SCALE) $(GO) run ./examples/uncertainty
 	PUFFER_EXAMPLE_SCALE=$(EXAMPLE_SCALE) $(GO) run ./examples/insitu-vs-emulation
 
-ci: fmt-check vet build test bench daily-smoke docs-smoke
+# Scenario smoke: briefly run every registered scenario (scaled down via
+# PUFFER_SCENARIO_SCALE) and prove the scenario API's round trip on each —
+# the -dump-scenario output, run from the file, is byte-identical on stdout
+# to running the scenario by name.
+scenario-smoke:
+	@set -e; \
+	bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin/puffer-daily ./cmd/puffer-daily; \
+	$$bin/puffer-daily -list-scenarios > $$bin/list.txt; \
+	names=$$(awk '{print $$1}' $$bin/list.txt); \
+	test -n "$$names" || { echo "scenario-smoke: no registered scenarios"; exit 1; }; \
+	for s in $$names; do \
+		echo "== scenario $$s"; \
+		$$bin/puffer-daily -scenario $$s -dump-scenario > $$bin/$$s.json; \
+		PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-daily -scenario $$s -q > $$bin/$$s.byname.out; \
+		PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-daily -scenario $$bin/$$s.json -q > $$bin/$$s.byfile.out; \
+		cmp $$bin/$$s.byname.out $$bin/$$s.byfile.out; \
+	done
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke

@@ -1,194 +1,126 @@
-// Command puffer-daily runs the in-situ continual experiment: each day a
-// randomized trial collects telemetry from the deployed schemes, and a
-// nightly phase warm-start-retrains Fugu's TTP on a sliding window of recent
-// days and rotates the new model in for the next day. With -retrain=true it
-// also runs the frozen-model staleness ablation (the paper's "Fugu-Feb"
-// comparison, §4.6) on the same seed and prints both side by side, including
-// the per-day frozen-vs-retrained stall gap.
+// Command puffer-daily runs the in-situ continual experiment from a
+// declarative scenario spec: each day a randomized trial collects telemetry
+// from the deployed schemes, and a nightly phase warm-start-retrains Fugu's
+// TTP on a sliding window of recent days and rotates the new model in for
+// the next day. With retraining on it also runs the frozen-model staleness
+// ablation (the paper's "Fugu-Feb" comparison, §4.6) on the same seed and
+// prints both side by side, including the per-day frozen-vs-retrained
+// stall gap.
 //
-// The simulated deployment is stationary by default, where (as in the
-// paper) the frozen model roughly ties. -drift makes the path population
-// nonstationary — capacity decay, composition shift, or migration to a
-// different family — so the gap separates and widens day over day:
+// Every experiment is a scenario.Spec. The base spec comes from -scenario
+// (a registered name or a committed .json file); every other flag is an
+// override applied on top, so the historical flag-only invocations still
+// work unchanged — they override the default spec:
 //
-//	puffer-daily -days 3 -retrain=true
-//	puffer-daily -days 4 -drift shift               # nonstationary deployment
-//	puffer-daily -days 14 -sessions 300 -window 7 -checkpoint /tmp/daily
-//	puffer-daily -days 30 -retrain=false            # deploy one stale model
-//	puffer-daily -engine fleet -arrival-rate 2      # concurrent serving engine
+//	puffer-daily -list-scenarios                     # what's on the menu
+//	puffer-daily -scenario drift-shift               # run a named scenario
+//	puffer-daily -scenario drift-shift -sessions 800 # ...with one override
+//	puffer-daily -scenario nightly.json              # run a committed spec
+//	puffer-daily -scenario fleet-burst -dump-scenario > burst.json
+//	puffer-daily -days 4 -drift shift                # flag-only, as always
+//	puffer-daily -engine fleet -arrival-rate 2       # concurrent serving
 //
-// A killed run resumes at the last completed day when -checkpoint is set;
-// the drift schedule is pinned by the checkpoint manifest, so resuming with
-// a different -drift is rejected.
+// -dump-scenario prints the effective fully-defaulted spec as canonical
+// JSON: commit it, diff it, edit it, and re-run it byte-identically. The
+// spec's guard hash pins checkpoint directories (-checkpoint), so resuming
+// under a different experiment is rejected with both specs in the error.
+// PUFFER_SCENARIO_SCALE (e.g. 0.05) shrinks days/sessions/epochs for smoke
+// runs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
-	"path/filepath"
+	"strconv"
 
-	"puffer/internal/core"
 	"puffer/internal/experiment"
 	"puffer/internal/netem"
 	"puffer/internal/runner"
+	"puffer/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("puffer-daily: ")
-	days := flag.Int("days", 3, "deployment days to simulate (count)")
-	sessions := flag.Int("sessions", 150, "randomized-trial size per day (sessions)")
-	window := flag.Int("window", 14, "sliding retraining window (days; 0 = all days so far)")
-	workers := flag.Int("workers", 0, "parallel shard workers (goroutines; 0 = GOMAXPROCS)")
-	engine := flag.String("engine", "session", "execution engine: session (one session at a time per worker) or fleet (virtual-time multiplexing with cross-session batched inference); results are byte-identical")
-	arrivalRate := flag.Float64("arrival-rate", 1, "fleet engine: Poisson session arrival intensity (sessions per virtual second)")
-	tick := flag.Float64("tick", 0.25, "fleet engine: inference batching tick (virtual seconds; never changes results)")
-	shard := flag.Int("shard", 64, "sessions per aggregation shard (sessions)")
-	seed := flag.Int64("seed", 1, "experiment seed (any int64)")
-	checkpoint := flag.String("checkpoint", "", "checkpoint directory (path; empty = no checkpointing)")
-	retrain := flag.Bool("retrain", true, "retrain the TTP nightly (false = frozen day-0 model)")
-	ablation := flag.Bool("ablation", true, "with -retrain, also run the frozen-model staleness ablation")
-	epochs := flag.Int("epochs", 8, "nightly training epochs (count)")
-	envName := flag.String("env", "insitu", "environment: insitu or emulation")
-	quiet := flag.Bool("q", false, "suppress progress logging")
-
-	drift := flag.String("drift", "none", "nonstationarity preset: none, decay, shift, or mix")
-	dRate := flag.Float64("drift-rate-factor", 0, "raw knob: daily capacity factor (ratio/day; e.g. 0.9 = -10%/day; unset = preset)")
-	dFloor := flag.Float64("drift-rate-floor", 0, "raw knob: floor on the compounded capacity factor (ratio; unset = preset)")
-	dSigma := flag.Float64("drift-sigma-widen", 0, "raw knob: extra session-spread log-std-dev added per day (nats/day; unset = preset)")
-	dSlow := flag.Float64("drift-slow-share", 0, "raw knob: extra slow-path share added per day (fraction/day; unset = preset)")
-	dSlowCap := flag.Float64("drift-slow-cap", 0, "raw knob: cap on the extra slow-path share (fraction; unset = preset)")
-	dOutage := flag.Float64("drift-outage-rate", 0, "raw knob: extra deep outages added per day (outages/hour/day; unset = preset)")
-	dOutageCap := flag.Float64("drift-outage-cap", 0, "raw knob: cap on the ramped outage rate (outages/hour; 0 = uncapped; unset = preset)")
-	dMix := flag.String("drift-mix", "", "raw knob: migrate the population toward this family: congested, fcc, cs2p, or none (unset = preset)")
-	dMixStart := flag.Int("drift-mix-start", 0, "raw knob: first day of the mix ramp (day index; unset = preset)")
-	dMixRamp := flag.Int("drift-mix-ramp", 3, "raw knob: days for the mix ramp to reach 100% (days; <= 0 = step; unset = preset)")
-	flag.Parse()
-
-	var env experiment.Env
-	switch *envName {
-	case "insitu":
-		env = experiment.DefaultEnv()
-	case "emulation":
-		env = experiment.EmulationEnv()
-	default:
-		log.Fatalf("unknown -env %q (want insitu or emulation)", *envName)
+	cli, err := parseCLI(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return
 	}
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
-	}
-
-	sched, err := netem.DriftPreset(*drift)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Raw knobs override the preset field-by-field; a flag overrides only
-	// when given on the command line, so explicit zeros work too.
-	given := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
-	if given["drift-rate-factor"] {
-		sched.RateFactorPerDay = *dRate
-	}
-	if given["drift-rate-floor"] {
-		sched.RateFactorFloor = *dFloor
-	}
-	if given["drift-sigma-widen"] {
-		sched.SigmaWidenPerDay = *dSigma
-	}
-	if given["drift-slow-share"] {
-		sched.SlowSharePerDay = *dSlow
-	}
-	if given["drift-slow-cap"] {
-		sched.SlowShareCap = *dSlowCap
-	}
-	if given["drift-outage-rate"] {
-		sched.OutageRatePerDay = *dOutage / 3600
-	}
-	if given["drift-outage-cap"] {
-		sched.OutageRateCap = *dOutageCap / 3600
-	}
-	if given["drift-mix"] {
-		switch *dMix {
-		case "congested":
-			sched.MixWith = netem.PufferPaths{MedianRate: 1.2e6, Sigma: 0.5}
-		case "fcc":
-			sched.MixWith = netem.FCCPaths{}
-		case "cs2p":
-			sched.MixWith = netem.CS2PPaths{}
-		case "none", "":
-			sched.MixWith = nil
-		default:
-			log.Fatalf("unknown -drift-mix %q (want congested, fcc, cs2p, or none)", *dMix)
+
+	if cli.list {
+		for _, name := range scenario.Names() {
+			s, _ := scenario.Lookup(name)
+			fmt.Printf("%-15s %s\n", name, s.Notes)
 		}
-		// A newly-introduced mix takes the ramp flags' values (their
-		// defaults included), not whatever the preset left at zero.
-		if sched.MixWith != nil {
-			sched.MixStartDay = *dMixStart
-			sched.MixRampDays = *dMixRamp
-		}
+		return
 	}
-	if given["drift-mix-start"] {
-		sched.MixStartDay = *dMixStart
+
+	spec := cli.spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
-	if given["drift-mix-ramp"] {
-		sched.MixRampDays = *dMixRamp
+	if cli.dump {
+		os.Stdout.Write(spec.CanonicalJSON())
+		return
 	}
-	if !sched.IsZero() {
-		env.Paths = &netem.DriftingSampler{Base: env.Paths, Schedule: sched}
+	spec = applyScale(spec)
+
+	logf := log.Printf
+	if cli.quiet {
+		logf = func(string, ...any) {}
+	}
+	if sched, err := spec.Schedule(); err == nil && !sched.IsZero() {
 		logf("drift schedule: %s", sched.Signature())
 	}
 
-	train := core.DefaultTrainConfig()
-	train.Epochs = *epochs
-	train.WindowDays = *window
-	cfg := runner.Config{
-		Env:            env,
-		Days:           *days,
-		SessionsPerDay: *sessions,
-		WindowDays:     *window,
-		Workers:        *workers,
-		Engine:         *engine,
-		ArrivalRate:    *arrivalRate,
-		FleetTick:      *tick,
-		ShardSize:      *shard,
-		Seed:           *seed,
-		Retrain:        *retrain,
-		Train:          train,
-		Logf:           logf,
-	}
-	// The retrained run and the frozen ablation checkpoint side by side.
-	ckptFor := func(retrain bool) string {
-		if *checkpoint == "" {
-			return ""
-		}
-		if retrain {
-			return filepath.Join(*checkpoint, "retrain")
-		}
-		return filepath.Join(*checkpoint, "frozen")
-	}
-	cfg.CheckpointDir = ckptFor(*retrain)
-
-	res, err := runner.Run(cfg)
+	out, err := scenario.Run(spec, scenario.RunOptions{
+		Workers:       cli.workers,
+		CheckpointDir: cli.checkpoint,
+		Logf:          logf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	printRun(os.Stdout, runLabel(*retrain), res)
 
-	if *retrain && *ablation {
-		logf("running frozen-model ablation (same seed, no nightly retraining)...")
-		frozenCfg := cfg
-		frozenCfg.Retrain = false
-		frozenCfg.CheckpointDir = ckptFor(false)
-		frozen, err := runner.Run(frozenCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		printRun(os.Stdout, runLabel(false), frozen)
-		printComparison(os.Stdout, res, frozen, &sched)
+	printRun(os.Stdout, runLabel(*out.Spec.Daily.Retrain), out.Result)
+	if out.Frozen != nil {
+		printRun(os.Stdout, runLabel(false), out.Frozen)
+		printComparison(os.Stdout, out.Result, out.Frozen, &out.Schedule)
 	}
+}
+
+// applyScale shrinks (or grows) the run by PUFFER_SCENARIO_SCALE: sessions,
+// days, and epochs scale proportionally, clamped so even a tiny smoke run
+// still bootstraps a model and deploys it (2 days, 8 sessions, 1 epoch).
+// Scaling changes results — it exists for CI smokes, never for resuming
+// real checkpoints.
+func applyScale(s scenario.Spec) scenario.Spec {
+	v := os.Getenv("PUFFER_SCENARIO_SCALE")
+	if v == "" {
+		return s
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 || f == 1 {
+		return s
+	}
+	scale := func(n int, min int) int {
+		n = int(math.Round(float64(n) * f))
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	s.Daily.Days = scale(s.Daily.Days, 2)
+	s.Daily.Sessions = scale(s.Daily.Sessions, 8)
+	s.Train.Epochs = scale(s.Train.Epochs, 1)
+	return s
 }
 
 func runLabel(retrain bool) string {

@@ -78,36 +78,22 @@ func main() {
 	fmt.Println("so it is overconfident exactly when the real network misbehaves.")
 
 	// Act 2: a frozen model in a drifting deployment is "trained in a
-	// different environment" a few days from now.
-	sched, err := puffer.DriftPreset("shift")
+	// different environment" a few days from now. The whole experiment —
+	// drifting world, 4-day loop, frozen-model ablation — is one
+	// declarative scenario spec; RunScenario runs both seed-paired arms.
+	log.Println("running 4-day drifting deployment (both arms)...")
+	out, err := puffer.RunScenario(puffer.NewScenario(
+		puffer.ScenarioDriftPreset("shift"),
+		puffer.ScenarioDays(4),
+		puffer.ScenarioSessions(exscale.Scaled(80)),
+		puffer.ScenarioSeed(41),
+		puffer.ScenarioEpochs(4),
+		puffer.ScenarioWindow(0),
+	), puffer.ScenarioRunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	env := puffer.DefaultEnv()
-	env.Paths = &puffer.DriftingSampler{Base: env.Paths, Schedule: sched}
-	train := puffer.DefaultTrainConfig()
-	train.Epochs = 4
-	daily := func(retrain bool) *puffer.DailyResult {
-		label := "frozen day-0 model"
-		if retrain {
-			label = "nightly retraining"
-		}
-		log.Printf("running 4-day drifting deployment (%s)...", label)
-		out, err := puffer.RunDaily(puffer.DailyConfig{
-			Env:            env,
-			Days:           4,
-			SessionsPerDay: exscale.Scaled(80),
-			Seed:           41,
-			Retrain:        retrain,
-			Train:          train,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return out
-	}
-	retrained := daily(true)
-	frozen := daily(false)
+	retrained, frozen := out.Result, out.Frozen
 
 	fmt.Printf("\nDrifting deployment (slow-path share +30 pts/day): Fugu stall ratio by day\n")
 	fmt.Printf("%-4s %12s %12s %9s\n", "Day", "Retrained%", "Frozen%", "Gap pp")

@@ -3,9 +3,8 @@ package figures
 import (
 	"io"
 
-	"puffer/internal/experiment"
-	"puffer/internal/netem"
 	"puffer/internal/runner"
+	"puffer/internal/scenario"
 )
 
 // FigDriftRow is one day of the nonstationary staleness experiment: the
@@ -35,41 +34,29 @@ func (s *Suite) FigDrift(w io.Writer) ([]FigDriftRow, error) {
 			sessions = 48
 		}
 		const days = 4
-		sched, err := netem.DriftPreset("shift")
-		if err != nil {
-			return nil, err
-		}
-		env := experiment.DefaultEnv()
-		env.Paths = &netem.DriftingSampler{Base: env.Paths, Schedule: sched}
-		// Fewer nightly epochs than the suite's offline trainings: the
-		// loop retrains 4 times per arm and warm starts make each cheap.
-		tc := trainCfg(s.Seed + 601)
-		tc.Epochs = 6
-		cfg := runner.Config{
-			Env:            env,
-			Days:           days,
-			SessionsPerDay: sessions,
-			WindowDays:     0,
-			Seed:           s.Seed + 600,
-			Retrain:        true,
-			Train:          tc,
-			Logf:           func(format string, args ...any) { s.Logf("  "+format, args...) },
-		}
-		s.Logf("running drift staleness experiment (%d days x %d sessions, retrained arm)...", days, sessions)
-		retrained, err := runner.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.Logf("running drift staleness experiment (frozen arm, same seed)...")
-		frozenCfg := cfg
-		frozenCfg.Retrain = false
-		frozen, err := runner.Run(frozenCfg)
+		// The experiment is the registered "drift-shift" scenario at the
+		// suite's scale and seed: the spec's ablation runs both arms on
+		// paired sessions. Fewer nightly epochs than the suite's offline
+		// trainings — the loop retrains 4 times per arm and warm starts
+		// make each cheap.
+		spec := scenario.New(
+			scenario.Days(days),
+			scenario.Sessions(sessions),
+			scenario.Window(0),
+			scenario.Seed(s.Seed+600),
+			scenario.Epochs(6),
+			scenario.Drift("shift"),
+		)
+		s.Logf("running drift staleness experiment (%d days x %d sessions, both arms)...", days, sessions)
+		out, err := scenario.Run(spec, scenario.RunOptions{
+			Logf: func(format string, args ...any) { s.Logf("  "+format, args...) },
+		})
 		if err != nil {
 			return nil, err
 		}
 
 		rows := make([]FigDriftRow, 0, days)
-		for _, g := range runner.StalenessGaps(retrained, frozen, "Fugu") {
+		for _, g := range runner.StalenessGaps(out.Result, out.Frozen, "Fugu") {
 			if !g.Present {
 				continue
 			}
@@ -78,7 +65,7 @@ func (s *Suite) FigDrift(w io.Writer) ([]FigDriftRow, error) {
 				RetrainedStallPct: 100 * g.Retrained,
 				FrozenStallPct:    100 * g.Frozen,
 				GapPP:             100 * g.Gap,
-				Drift:             sched.Describe(g.Day),
+				Drift:             out.Schedule.Describe(g.Day),
 			})
 		}
 		s.drift = rows

@@ -9,6 +9,7 @@ import (
 	"puffer/internal/experiment"
 	"puffer/internal/pensieve"
 	"puffer/internal/runner"
+	"puffer/internal/scenario"
 )
 
 // Suite holds the trained models and cached experiment results shared by
@@ -55,7 +56,7 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 	}
 
 	logf("training in-situ TTP (two-day continual loop, %d sessions/day)...", collectSessions)
-	insituTTP, insituData, err := trainTTPInEnv(experiment.DefaultEnv(), collectSessions, seed+1, logf)
+	insituTTP, insituData, err := trainTTPInWorld("insitu", collectSessions, seed+1, logf)
 	if err != nil {
 		return nil, fmt.Errorf("figures: in-situ TTP: %w", err)
 	}
@@ -63,7 +64,7 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 	s.insituDat = insituData
 
 	logf("training emulation TTP (two-day continual loop, %d sessions/day)...", collectSessions)
-	emuTTP, _, err := trainTTPInEnv(experiment.EmulationEnv(), collectSessions, seed+3, logf)
+	emuTTP, _, err := trainTTPInWorld("emulation", collectSessions, seed+3, logf)
 	if err != nil {
 		return nil, fmt.Errorf("figures: emulation TTP: %w", err)
 	}
@@ -87,35 +88,45 @@ func behaviorSchemes(seed int64) []experiment.Scheme {
 	return runner.BootstrapSchemes(seed)
 }
 
-// trainTTPInEnv reproduces the in-situ training loop in a given environment
-// by running the continual-experiment runner for two days: day 0 collects
+// trainTTPInWorld reproduces the in-situ training loop in a given world by
+// running the continual-experiment runner for two days: day 0 collects
 // bootstrap telemetry from the classical schemes and trains a first TTP
 // overnight; day 1 deploys that Fugu to gather telemetry from its own
 // decisions (as the live deployment does continuously) and the nightly phase
-// retrains on both days. Figures and the daily loop share this one engine.
-func trainTTPInEnv(env experiment.Env, sessions int, seed int64, logf func(string, ...any)) (*core.TTP, *core.Dataset, error) {
-	cfg := trainCfg(seed)
-	cfg.RecencyBase = 1 // both days weighted equally when bootstrapping
-	res, err := runner.Run(runner.Config{
-		Env:            env,
-		Days:           2,
-		SessionsPerDay: sessions,
-		WindowDays:     2,
-		Seed:           seed,
-		Retrain:        true,
-		Train:          cfg,
-		Logf:           func(format string, args ...any) { logf("  "+format, args...) },
-	})
+// retrains on both days. The experiment is declared as a scenario spec —
+// figures, the CLI, and the daily loop all go through the same front door.
+func trainTTPInWorld(world string, sessions int, seed int64, logf func(string, ...any)) (*core.TTP, *core.Dataset, error) {
+	spec := scenario.New(
+		scenario.World(world),
+		scenario.Days(2),
+		scenario.Sessions(sessions),
+		scenario.Window(2),
+		scenario.Seed(seed),
+		scenario.Epochs(suiteTrainEpochs),
+		scenario.RecencyBase(1), // both days weighted equally when bootstrapping
+	)
+	cfg, err := scenario.Compile(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Logf = func(format string, args ...any) { logf("  "+format, args...) }
+	res, err := runner.Run(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.TTP, res.Data, nil
 }
 
+// suiteTrainEpochs is the offline trainings' epoch count (more than the
+// daily loop's nightly default, since the suite trains each model once).
+const suiteTrainEpochs = 12
+
+// trainCfg is the offline training setup for models the figures train
+// directly with core.Train (outside the daily loop).
 func trainCfg(seed int64) core.TrainConfig {
 	cfg := core.DefaultTrainConfig()
 	cfg.Seed = seed
-	cfg.Epochs = 12
+	cfg.Epochs = suiteTrainEpochs
 	return cfg
 }
 

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// evalFixture builds a random net plus a labeled dataset big enough to
+// span several evaluation row blocks (and a ragged tail).
+func evalFixture(t *testing.T, seed int64) (*MLP, [][]float64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := NewMLP(rng, 22, 64, 64, 21)
+	n := 3*evalRows + 17
+	xs := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range xs {
+		x := make([]float64, net.InputSize())
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+		labels[i] = rng.Intn(net.OutputSize())
+	}
+	return net, xs, labels
+}
+
+// TestCrossEntropyAccuracyPackedMatchesPortable: the evaluation sweeps run
+// on the packed (SIMD) kernel; this pins them bitwise to a reference
+// computed per sample with the portable scalar forward pass.
+func TestCrossEntropyAccuracyPackedMatchesPortable(t *testing.T) {
+	net, xs, labels := evalFixture(t, 41)
+
+	ws := net.NewWorkspace()
+	probs := make([]float64, net.OutputSize())
+	var refLoss float64
+	refHit := 0
+	for s, x := range xs {
+		logits := net.ForwardInto(ws, x)
+		Softmax(probs, logits)
+		p := probs[labels[s]]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		refLoss -= math.Log(p)
+		if ArgMax(logits) == labels[s] {
+			refHit++
+		}
+	}
+	refCE := refLoss / float64(len(xs))
+	refAcc := float64(refHit) / float64(len(xs))
+
+	if ce := CrossEntropy(net, xs, labels); ce != refCE {
+		t.Fatalf("CrossEntropy = %v, portable reference = %v (must be bitwise identical)", ce, refCE)
+	}
+	if acc := Accuracy(net, xs, labels); acc != refAcc {
+		t.Fatalf("Accuracy = %v, portable reference = %v (must be bitwise identical)", acc, refAcc)
+	}
+}

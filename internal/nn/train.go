@@ -645,14 +645,18 @@ func (t *Trainer) PolicyGradStep(xs [][]float64, actions []int, advantages []flo
 const evalRows = 64
 
 // forEachLogitRow runs the dataset through net in batches and calls visit
-// with each sample's index and logit row.
+// with each sample's index and logit row. The sweep snapshots the net into
+// its packed (SIMD) serving form once and drives every batch through it —
+// bitwise identical to the portable batched kernel, so evaluation metrics
+// never depend on which kernel ran.
 func forEachLogitRow(net *MLP, xs [][]float64, visit func(s int, logits []float64)) {
 	rows := evalRows
 	if len(xs) < rows {
 		rows = len(xs)
 	}
 	nIn, nOut := net.InputSize(), net.OutputSize()
-	ws := net.NewBatchWorkspace(rows)
+	packed := net.NewPacked()
+	ws := packed.NewBatchWorkspace(rows)
 	buf := make([]float64, rows*nIn)
 	for at := 0; at < len(xs); at += rows {
 		b := len(xs) - at
@@ -665,7 +669,7 @@ func forEachLogitRow(net *MLP, xs [][]float64, visit func(s int, logits []float6
 			}
 			copy(buf[r*nIn:(r+1)*nIn], xs[at+r])
 		}
-		logits := net.ForwardBatchInto(ws, buf[:b*nIn], b)
+		logits := packed.ForwardBatchInto(ws, buf[:b*nIn], b)
 		for r := 0; r < b; r++ {
 			visit(at+r, logits[r*nOut:(r+1)*nOut])
 		}

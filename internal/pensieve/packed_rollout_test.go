@@ -1,0 +1,56 @@
+package pensieve
+
+import (
+	"testing"
+
+	"puffer/internal/nn"
+)
+
+// shortTrain runs a deliberately small but real training loop.
+func shortTrain(t *testing.T) (*Agent, TrainResult) {
+	t.Helper()
+	cfg := DefaultTrainConfig()
+	cfg.Episodes = 12
+	cfg.ChunksPerEp = 25
+	cfg.Seed = 7
+	return Train(cfg)
+}
+
+// TestTrainPackedRolloutMatchesPortable: episode rollouts serve the policy
+// from a packed (SIMD) snapshot; since snapshot logits are bitwise
+// identical to ForwardInto, every sampled action, every gradient, and
+// therefore the final trained weights must match the portable path
+// exactly.
+func TestTrainPackedRolloutMatchesPortable(t *testing.T) {
+	if !packedRollout {
+		t.Fatal("packed rollout must be the default")
+	}
+	packedAgent, packedRes := shortTrain(t)
+
+	packedRollout = false
+	defer func() { packedRollout = true }()
+	portableAgent, portableRes := shortTrain(t)
+
+	if packedRes != portableRes {
+		t.Fatalf("training diagnostics differ: packed %+v vs portable %+v", packedRes, portableRes)
+	}
+	a, b := packedAgent.Policy(), portableAgent.Policy()
+	if !a.SameShape(b) {
+		t.Fatal("trained policies differ in shape")
+	}
+	for l := range a.W {
+		for i, v := range a.W[l] {
+			if v != b.W[l][i] {
+				t.Fatalf("layer %d weight %d differs: %v vs %v (must be bitwise identical)", l, i, v, b.W[l][i])
+			}
+		}
+		for i, v := range a.B[l] {
+			if v != b.B[l][i] {
+				t.Fatalf("layer %d bias %d differs: %v vs %v", l, i, v, b.B[l][i])
+			}
+		}
+	}
+	// Sanity: the snapshot path really is live on this machine when the
+	// kernels are (the equality above holds either way).
+	_ = nn.Accelerated()
+}

@@ -44,6 +44,11 @@ func DefaultTrainConfig() TrainConfig {
 	}
 }
 
+// packedRollout selects the packed (SIMD) snapshot for episode rollouts.
+// It exists only so the differential test can force the portable ForwardInto
+// path and assert the trained weights are bitwise identical either way.
+var packedRollout = true
+
 // TrainResult reports training diagnostics.
 type TrainResult struct {
 	// MeanReward is the (undiscounted) per-chunk mean reward of the final
@@ -85,6 +90,7 @@ func Train(cfg TrainConfig) (*Agent, TrainResult) {
 	polTr := nn.NewTrainer(policy, &nn.Adam{LR: cfg.LR})
 
 	polWS := policy.NewWorkspace()
+	rollWS := policy.NewBatchWorkspace(1)
 	probs := make([]float64, NumActions)
 
 	// Per-position return baseline (EMA across episodes). A learned value
@@ -107,10 +113,24 @@ func Train(cfg TrainConfig) (*Agent, TrainResult) {
 		frac := float64(ep) / float64(cfg.Episodes)
 		entropy := cfg.EntropyStart + (cfg.EntropyEnd-cfg.EntropyStart)*frac
 
+		// The policy is constant within an episode (the optimizer steps
+		// between episodes), so each rollout serves from a packed (SIMD)
+		// snapshot of it — bitwise identical to ForwardInto, which the
+		// portable fallback below runs (and the differential test pins).
+		var snapshot *nn.PackedMLP
+		if packedRollout {
+			snapshot = policy.NewPacked()
+		}
+
 		runEpisode(cfg, rng, func(obs *abr.Observation) int {
 			s := make([]float64, StateDim)
 			assembleState(s, obs)
-			logits := policy.ForwardInto(polWS, s)
+			var logits []float64
+			if snapshot != nil {
+				logits = snapshot.ForwardBatchInto(rollWS, s, 1)
+			} else {
+				logits = policy.ForwardInto(polWS, s)
+			}
 			nn.Softmax(probs, logits)
 			a := sample(rng, probs)
 			states = append(states, s)

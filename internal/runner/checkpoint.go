@@ -2,12 +2,13 @@ package runner
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"reflect"
 	"strings"
 
 	"puffer/internal/core"
@@ -35,11 +36,27 @@ const (
 	modelFile     = "ttp.model"
 )
 
-// manifest pins the config fields that determine results. Workers is
-// deliberately absent: it only changes scheduling. The environment is
-// pinned by its observable identity (path family plus clip replay), which
-// distinguishes the deployment and emulation worlds.
+// manifest guards a checkpoint directory against resuming under a
+// different experiment. The guard is one hash: for scenario-compiled runs
+// it is the spec's GuardHash (the canonical scenario content hash with
+// resume-safe fields like Days normalized out), and the canonical spec
+// JSON rides along so a rejected resume can say which experiment the
+// checkpoint belongs to. Runs built from a raw Config get a fallback hash
+// over guardParams. Workers and the engine selection are absent from both:
+// they only change scheduling, never results.
 type manifest struct {
+	GuardHash string
+	// Spec is the canonical scenario spec (scenario-compiled runs only).
+	Spec json.RawMessage `json:",omitempty"`
+	// Params is the runner-level guard view (direct-Config runs only).
+	Params *guardParams `json:",omitempty"`
+}
+
+// guardParams is the fallback guard for Configs constructed without a
+// scenario spec: the result-shaping fields, with the environment pinned by
+// its observable identity (path-family name — which embeds any drift
+// signature — plus clip replay).
+type guardParams struct {
 	EnvPaths       string
 	EnvClip        bool
 	SessionsPerDay int
@@ -52,8 +69,8 @@ type manifest struct {
 	Train          core.TrainConfig
 }
 
-func (cfg *Config) manifest() manifest {
-	m := manifest{
+func (cfg *Config) guardParams() guardParams {
+	p := guardParams{
 		EnvClip:        cfg.Env.Clip != nil,
 		SessionsPerDay: cfg.SessionsPerDay,
 		WindowDays:     cfg.WindowDays,
@@ -65,9 +82,23 @@ func (cfg *Config) manifest() manifest {
 		Train:          cfg.Train,
 	}
 	if cfg.Env.Paths != nil {
-		m.EnvPaths = cfg.Env.Paths.Name()
+		p.EnvPaths = cfg.Env.Paths.Name()
 	}
-	return m
+	return p
+}
+
+// manifest builds the guard record for this config.
+func (cfg *Config) manifest() manifest {
+	if cfg.SpecHash != "" {
+		return manifest{GuardHash: cfg.SpecHash, Spec: cfg.SpecJSON}
+	}
+	p := cfg.guardParams()
+	blob, err := json.Marshal(&p)
+	if err != nil {
+		panic(fmt.Sprintf("runner: encoding guard params: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return manifest{GuardHash: hex.EncodeToString(sum[:]), Params: &p}
 }
 
 func dayDir(root string, day int) string {
@@ -121,6 +152,8 @@ func (r *state) resume() (int, error) {
 
 // checkManifest writes the manifest on first use and rejects resumes whose
 // config would silently change the results of already-checkpointed days.
+// The comparison is one hash equality; the stored spec (or params) only
+// feeds the error message.
 func (r *state) checkManifest() error {
 	path := filepath.Join(r.cfg.CheckpointDir, manifestFile)
 	want := r.cfg.manifest()
@@ -140,13 +173,63 @@ func (r *state) checkManifest() error {
 	}
 	var got manifest
 	if err := json.Unmarshal(raw, &got); err != nil {
-		return fmt.Errorf("runner: decoding manifest: %w", err)
+		return fmt.Errorf("runner: decoding manifest %s: %w", path, err)
 	}
-	if !reflect.DeepEqual(got, want) {
-		return fmt.Errorf("runner: checkpoint dir %s was created with different parameters (%+v vs %+v); use a fresh dir",
-			r.cfg.CheckpointDir, got, want)
+	if got.GuardHash == "" {
+		// Pre-scenario checkpoints pinned raw field lists (EnvPaths,
+		// SessionsPerDay, ...) instead of a guard hash. They cannot be
+		// verified against a spec, so make the migration explicit
+		// rather than failing with a generic mismatch.
+		if legacyManifest(raw) {
+			return fmt.Errorf("runner: checkpoint dir %s has a legacy (pre-scenario) manifest; "+
+				"its field-list format was replaced by the scenario guard hash and old checkpoints "+
+				"cannot be resumed — re-run the experiment into a fresh directory (the completed-day "+
+				"data under day_* remains readable)", r.cfg.CheckpointDir)
+		}
+		return fmt.Errorf("runner: checkpoint dir %s has an unrecognized manifest (no guard hash); use a fresh dir", r.cfg.CheckpointDir)
+	}
+	if got.GuardHash != want.GuardHash {
+		return fmt.Errorf("runner: checkpoint dir %s belongs to a different experiment (guard %s vs %s)%s; "+
+			"use a fresh dir, or re-run with the original spec",
+			r.cfg.CheckpointDir, shortHash(got.GuardHash), shortHash(want.GuardHash), manifestDiff(got, want))
 	}
 	return nil
+}
+
+// shortHash abbreviates a guard hash for error messages (tolerating
+// malformed manifests with short values).
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// legacyManifest recognizes the pre-scenario manifest format by its
+// distinctive field names.
+func legacyManifest(raw []byte) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return false
+	}
+	_, hasEnv := m["EnvPaths"]
+	_, hasSessions := m["SessionsPerDay"]
+	return hasEnv && hasSessions
+}
+
+// manifestDiff renders what the checkpoint pinned versus what the caller
+// asked for, for actionable mismatch errors.
+func manifestDiff(got, want manifest) string {
+	switch {
+	case got.Spec != nil && want.Spec != nil:
+		return fmt.Sprintf("\ncheckpointed spec:\n%s\nrequested spec:\n%s", got.Spec, want.Spec)
+	case got.Params != nil && want.Params != nil:
+		return fmt.Sprintf(" (%+v vs %+v)", *got.Params, *want.Params)
+	case got.Spec != nil:
+		return fmt.Sprintf("\ncheckpointed spec:\n%s\n(requested run was built from a raw runner.Config, not a scenario spec)", got.Spec)
+	default:
+		return " (checkpoint was built from a raw runner.Config, requested run from a scenario spec)"
+	}
 }
 
 // checkpointDay atomically commits one completed day.

@@ -12,9 +12,12 @@
 // is ever materialized, and bootstrap confidence intervals are computed once
 // on the merged state. Per-day state (model, telemetry, accumulator, stats)
 // checkpoints atomically, so a killed run resumes at the last completed day
-// with byte-identical results; a manifest pins every result-shaping
-// parameter (the path family's name included, which is how a drift schedule
-// participates) and rejects mismatched resumes.
+// with byte-identical results. The checkpoint manifest is guarded by one
+// hash: the scenario spec's guard hash (Config.SpecHash, set by
+// internal/scenario's Compile) for spec-driven runs, or a fallback hash of
+// the runner's own result-shaping fields for directly constructed Configs;
+// mismatched resumes are rejected with both specs in the error, and
+// pre-scenario field-list manifests get an explicit migration message.
 //
 // The loop threads the day index into the environment's path sampler: when
 // Config.Env.Paths is a netem.DaySampler (e.g. a netem.DriftingSampler),

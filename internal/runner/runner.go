@@ -46,6 +46,10 @@ type Config struct {
 	// sessions per virtual second. Default (0): 1. Ignored by the
 	// session engine; never changes results.
 	ArrivalRate float64
+	// Arrivals, when non-nil, replaces the Poisson process entirely
+	// (e.g. fleet.BurstArrivals for flash crowds). Default (nil):
+	// PoissonArrivals at ArrivalRate. Never changes results.
+	Arrivals fleet.ArrivalProcess
 	// FleetTick is the fleet engine's inference-batching tick in virtual
 	// seconds. Default (0): 0.25. Ignored by the session engine; never
 	// changes results.
@@ -74,6 +78,16 @@ type Config struct {
 	// value): core.DefaultTrainConfig; Train.Seed is re-derived per day
 	// either way.
 	Train core.TrainConfig
+	// SpecHash, when set, is the scenario guard hash
+	// (scenario.Spec.GuardHash) that pins this run's checkpoint
+	// manifest: resuming with a different hash is rejected. Default
+	// (empty): the runner derives a fallback guard from its own
+	// result-shaping fields, for callers constructing Configs directly.
+	SpecHash string
+	// SpecJSON is the canonical scenario spec recorded alongside
+	// SpecHash in the manifest, so a rejected resume can say exactly
+	// which experiment the checkpoint belongs to. Diagnostics only.
+	SpecJSON []byte
 	// Logf, if set, receives progress lines. Default (nil): silent.
 	Logf func(format string, args ...any)
 }
@@ -316,15 +330,19 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 	var fst *fleet.Stats
 	var err error
 	if cfg.Engine == "fleet" {
-		rate := cfg.ArrivalRate
-		if rate <= 0 {
-			rate = 1
+		proc := cfg.Arrivals
+		if proc == nil {
+			rate := cfg.ArrivalRate
+			if rate <= 0 {
+				rate = 1
+			}
+			proc = fleet.PoissonArrivals{Rate: rate}
 		}
 		acc, fst, err = fleet.RunTrial(&trial, fleet.Config{
 			ShardSize: cfg.ShardSize,
 			Workers:   cfg.Workers,
 			Tick:      cfg.FleetTick,
-			Arrivals:  fleet.PoissonArrivals{Rate: rate},
+			Arrivals:  proc,
 		})
 	} else {
 		acc, err = runDaySharded(&trial, cfg.ShardSize, cfg.Workers)

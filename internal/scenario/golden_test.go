@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden scenario spec files")
+
+// TestRegisteredScenarioGoldenFiles pins the canonical JSON of every
+// registered scenario to a checked-in golden file. A diff here means the
+// spec format, a default, or a built-in scenario changed — all of which
+// invalidate users' committed spec files and checkpoint guard hashes, so
+// the change must be deliberate (regenerate with -update-golden).
+func TestRegisteredScenarioGoldenFiles(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered scenarios")
+	}
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Names lists %q but Lookup misses it", name)
+		}
+		path := filepath.Join(dir, name+".json")
+		seen[name+".json"] = true
+		got := s.CanonicalJSON()
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file for %q (run with -update-golden): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("scenario %q drifted from its golden spec file %s:\n--- got ---\n%s--- want ---\n%s",
+				name, path, got, want)
+		}
+		// Every registered scenario must compile and carry its guard.
+		cfg, err := Compile(s)
+		if err != nil {
+			t.Fatalf("registered scenario %q does not compile: %v", name, err)
+		}
+		if cfg.SpecHash != s.GuardHash() {
+			t.Fatalf("scenario %q compiled with the wrong guard hash", name)
+		}
+	}
+	// No stale golden files for unregistered scenarios.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !seen[e.Name()] {
+			t.Errorf("stale golden file %s has no registered scenario", e.Name())
+		}
+	}
+}

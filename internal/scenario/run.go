@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"path/filepath"
+
+	"puffer/internal/netem"
+	"puffer/internal/runner"
+)
+
+// RunOptions are the scheduling-side knobs of a scenario run — everything
+// here changes how (or where) the experiment executes, never what it
+// computes, so none of it lives in the Spec or its hashes.
+type RunOptions struct {
+	// Workers bounds shard parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CheckpointDir persists per-day state for kill-and-resume. The
+	// retrained run and the frozen ablation companion checkpoint side by
+	// side in <dir>/retrain and <dir>/frozen.
+	CheckpointDir string
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Outcome is a finished scenario run.
+type Outcome struct {
+	// Spec is the fully-defaulted spec that ran — what -dump-scenario
+	// prints, and what the checkpoint manifest recorded.
+	Spec Spec
+	// Schedule is the effective drift schedule (zero when stationary),
+	// for per-day Describe readouts.
+	Schedule netem.DriftSchedule
+	// Result is the spec's run.
+	Result *runner.Result
+	// Frozen is the staleness-ablation companion — the same experiment
+	// with nightly retraining disabled, on the same seed — when the spec
+	// asked for it (daily.retrain and daily.ablation both true).
+	Frozen *runner.Result
+}
+
+// Run compiles and executes the scenario: the main run, and (when the spec
+// enables the ablation) the frozen-model companion on the same seed, whose
+// per-day gap against the retrained arm is the paper's §4.6 staleness
+// readout. This is the platform's one front door — the CLI, the nightly
+// workflow, and library callers all run experiments through it.
+func Run(s Spec, opt RunOptions) (*Outcome, error) {
+	d := s.WithDefaults()
+	cfg, err := Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := d.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = opt.Workers
+	cfg.Logf = opt.Logf
+	cfg.CheckpointDir = checkpointFor(opt.CheckpointDir, cfg.Retrain)
+
+	out := &Outcome{Spec: d, Schedule: sched}
+	if out.Result, err = runner.Run(cfg); err != nil {
+		return nil, err
+	}
+
+	if cfg.Retrain && *d.Daily.Ablation {
+		if opt.Logf != nil {
+			opt.Logf("running frozen-model ablation (same seed, no nightly retraining)...")
+		}
+		frozen := d
+		frozen.Daily.Retrain = ptr(false)
+		fcfg, err := Compile(frozen)
+		if err != nil {
+			return nil, err
+		}
+		fcfg.Workers = opt.Workers
+		fcfg.Logf = opt.Logf
+		fcfg.CheckpointDir = checkpointFor(opt.CheckpointDir, false)
+		if out.Frozen, err = runner.Run(fcfg); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkpointFor keeps the historical layout: the retrained run and the
+// frozen companion own sibling subdirectories of the caller's root.
+func checkpointFor(root string, retrain bool) string {
+	if root == "" {
+		return ""
+	}
+	if retrain {
+		return filepath.Join(root, "retrain")
+	}
+	return filepath.Join(root, "frozen")
+}

@@ -1,0 +1,458 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is the single declarative description of an experiment: everything
+// the platform needs to run it — environment, daily-loop shape, model and
+// training knobs, drift schedule, execution engine, seed, sharding — in one
+// serializable value. A Spec travels as JSON (strict: unknown fields are
+// rejected), defaults are applied in exactly one place (WithDefaults), and
+// the canonical form of a fully-defaulted spec has a stable content hash
+// (Hash) whose guard projection (GuardHash) pins checkpoint manifests.
+//
+// Zero vs unset: fields where the zero value is itself meaningful are
+// pointers — absent means "use the default", an explicit zero means zero.
+// For example `"window": 0` trains on all days so far, while omitting
+// `window` gives the default 14-day sliding window; `"hidden": []` is the
+// linear-model ablation, while `"hidden": null` (or omitting it) is the
+// paper's 64-64 architecture.
+type Spec struct {
+	// Name labels the spec (registry scenarios carry their registered
+	// name). Documentation only: excluded from both hashes.
+	Name string `json:"name,omitempty"`
+	// Notes is free-form documentation, also excluded from the hashes.
+	Notes string `json:"notes,omitempty"`
+
+	Env    EnvSpec    `json:"env"`
+	Daily  DailySpec  `json:"daily"`
+	Model  ModelSpec  `json:"model"`
+	Train  TrainSpec  `json:"train"`
+	Drift  DriftSpec  `json:"drift"`
+	Engine EngineSpec `json:"engine"`
+
+	// Seed makes the whole run deterministic. Default (absent): 1.
+	// An explicit 0 is a valid seed, hence the pointer.
+	Seed *int64 `json:"seed,omitempty"`
+	// ShardSize is sessions per aggregation shard. Default (0): 64.
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// EnvSpec picks the world sessions run in.
+type EnvSpec struct {
+	// World is "insitu" (the deployment environment; default) or
+	// "emulation" (the §5.2 FCC-trace testbed).
+	World string `json:"world,omitempty"`
+	// Paths optionally overrides the world's path family: "puffer",
+	// "fcc", "cs2p", or "congested" (a low-capacity Puffer variant).
+	// Default (""): the world's own family.
+	Paths string `json:"paths,omitempty"`
+}
+
+// DailySpec shapes the continual (daily) loop.
+type DailySpec struct {
+	// Days is how many deployment days to simulate. Default (0): 3.
+	Days int `json:"days,omitempty"`
+	// Sessions is each day's randomized-trial size. Default (0): 150.
+	Sessions int `json:"sessions,omitempty"`
+	// Window is the sliding retraining window in days; an explicit 0
+	// trains on all days so far. Default (absent): 14.
+	Window *int `json:"window,omitempty"`
+	// Retrain enables nightly warm-start retraining. Default (absent):
+	// true; false serves the frozen day-0 model (the "Fugu-Feb" arm).
+	Retrain *bool `json:"retrain,omitempty"`
+	// Ablation, with Retrain on, also runs the frozen-model companion on
+	// the same seed for the staleness comparison. Default (absent): true.
+	Ablation *bool `json:"ablation,omitempty"`
+}
+
+// ModelSpec shapes the Transmission Time Predictor.
+type ModelSpec struct {
+	// Hidden are the TTP hidden-layer sizes; an explicit empty list is
+	// the linear-model ablation. Default (null): [64, 64].
+	Hidden []int `json:"hidden"`
+	// Horizon is the TTP/MPC lookahead in chunks. Default (0): 5.
+	Horizon int `json:"horizon,omitempty"`
+}
+
+// TrainSpec controls the nightly supervised training.
+type TrainSpec struct {
+	// Epochs per nightly phase. Default (0): 8.
+	Epochs int `json:"epochs,omitempty"`
+	// BatchSize is the minibatch size. Default (0): 64.
+	BatchSize int `json:"batch_size,omitempty"`
+	// LR is the Adam learning rate. Default (0): 1e-3.
+	LR float64 `json:"lr,omitempty"`
+	// RecencyBase is the per-day-of-age weight multiplier; an explicit 0
+	// (or 1) weights all days uniformly. Default (absent): 0.9.
+	RecencyBase *float64 `json:"recency_base,omitempty"`
+}
+
+// DriftSpec makes the path population nonstationary: a named preset plus
+// raw per-knob overrides. An override applies only when present, so an
+// explicit zero clears a preset knob while an absent knob keeps the
+// preset's value — the same semantics the raw -drift-* CLI flags have
+// always had.
+type DriftSpec struct {
+	// Preset is a named netem.DriftPreset: "none" (default), "decay",
+	// "shift", or "mix".
+	Preset string `json:"preset,omitempty"`
+
+	// RateFactorPerDay compounds a daily capacity factor (0.9 = -10%/day).
+	RateFactorPerDay *float64 `json:"rate_factor_per_day,omitempty"`
+	// RateFactorFloor bounds the compounded capacity factor from below.
+	RateFactorFloor *float64 `json:"rate_factor_floor,omitempty"`
+	// SigmaWidenPerDay adds session-spread log-std-dev per day (nats/day).
+	SigmaWidenPerDay *float64 `json:"sigma_widen_per_day,omitempty"`
+	// SlowSharePerDay grows the slow-path share per day (fraction/day).
+	SlowSharePerDay *float64 `json:"slow_share_per_day,omitempty"`
+	// SlowShareCap caps the extra slow-path share (fraction).
+	SlowShareCap *float64 `json:"slow_share_cap,omitempty"`
+	// OutagesPerHour ramps deep outages (outages/hour added per day).
+	OutagesPerHour *float64 `json:"outages_per_hour,omitempty"`
+	// OutageCapPerHour caps the ramped outage rate (outages/hour; 0 =
+	// uncapped).
+	OutageCapPerHour *float64 `json:"outage_cap_per_hour,omitempty"`
+
+	// Mix migrates the population toward another family: "congested",
+	// "fcc", "cs2p", or "none" (clears a preset's mix; "" is accepted as
+	// an alias for "none", matching the historical flag). When Mix
+	// introduces a family the preset did not have, MixStartDay and
+	// MixRampDays default to 0 and 3 rather than the preset's zeros.
+	Mix *string `json:"mix,omitempty"`
+	// MixStartDay is the first day with nonzero mix weight.
+	MixStartDay *int `json:"mix_start_day,omitempty"`
+	// MixRampDays is how many days the linear ramp takes to reach 100%
+	// (an explicit 0 or negative value is a step change).
+	MixRampDays *int `json:"mix_ramp_days,omitempty"`
+}
+
+// EngineSpec selects and tunes the execution engine. No engine field
+// changes results — both engines are byte-identical at the same seeds —
+// so the whole struct is excluded from the checkpoint guard.
+type EngineSpec struct {
+	// Kind is "session" (default) or "fleet".
+	Kind string `json:"kind,omitempty"`
+	// Arrival is the fleet engine's session arrival process.
+	Arrival ArrivalSpec `json:"arrival,omitzero"`
+	// Tick is the fleet engine's inference-batching tick in virtual
+	// seconds. Default (0): 0.25.
+	Tick float64 `json:"tick,omitempty"`
+}
+
+// ArrivalSpec describes the fleet engine's arrival process.
+type ArrivalSpec struct {
+	// Process is "poisson" (default) or "burst".
+	Process string `json:"process,omitempty"`
+	// Rate is the Poisson intensity in sessions per virtual second.
+	// Default (0): 1. Ignored by "burst".
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is sessions per burst; Gap the virtual seconds between
+	// bursts. Required (Burst > 0) when Process is "burst".
+	Burst int     `json:"burst,omitempty"`
+	Gap   float64 `json:"gap,omitempty"`
+}
+
+// Default values, applied in exactly one place (WithDefaults). The numbers
+// deliberately equal the historical puffer-daily flag defaults, so a spec
+// with everything unset runs exactly what the bare CLI always ran.
+const (
+	DefaultDays      = 3
+	DefaultSessions  = 150
+	DefaultWindow    = 14
+	DefaultEpochs    = 8
+	DefaultBatchSize = 64
+	DefaultLR        = 1e-3
+	DefaultSeed      = 1
+	DefaultShard     = 64
+	DefaultRate      = 1.0
+	DefaultTick      = 0.25
+
+	defaultRecencyBase = 0.9
+	defaultMixStartDay = 0
+	defaultMixRampDays = 3
+)
+
+// DefaultHidden is the paper's TTP architecture.
+var DefaultHidden = []int{64, 64}
+
+func ptr[T any](v T) *T { return &v }
+
+// orp returns p's value, or def when p is nil.
+func orp[T any](p *T, def T) T {
+	if p != nil {
+		return *p
+	}
+	return def
+}
+
+// WithDefaults returns a copy of the spec with every unset field resolved
+// to its documented default — the one place defaulting happens. The result
+// is idempotent: WithDefaults(WithDefaults(s)) == WithDefaults(s), which is
+// what makes the canonical JSON form (and therefore the hashes) stable.
+func (s Spec) WithDefaults() Spec {
+	d := s
+	if d.Env.World == "" {
+		d.Env.World = "insitu"
+	}
+	if d.Daily.Days == 0 {
+		d.Daily.Days = DefaultDays
+	}
+	if d.Daily.Sessions == 0 {
+		d.Daily.Sessions = DefaultSessions
+	}
+	d.Daily.Window = ptr(orp(d.Daily.Window, DefaultWindow))
+	d.Daily.Retrain = ptr(orp(d.Daily.Retrain, true))
+	d.Daily.Ablation = ptr(orp(d.Daily.Ablation, true))
+	if d.Model.Hidden == nil {
+		d.Model.Hidden = append([]int(nil), DefaultHidden...)
+	}
+	if d.Model.Horizon == 0 {
+		d.Model.Horizon = 5
+	}
+	if d.Train.Epochs == 0 {
+		d.Train.Epochs = DefaultEpochs
+	}
+	if d.Train.BatchSize == 0 {
+		d.Train.BatchSize = DefaultBatchSize
+	}
+	if d.Train.LR == 0 {
+		d.Train.LR = DefaultLR
+	}
+	d.Train.RecencyBase = ptr(orp(d.Train.RecencyBase, defaultRecencyBase))
+	if d.Drift.Preset == "" {
+		d.Drift.Preset = "none"
+	}
+	d.Engine = d.Engine.withEngineDefaults()
+	d.Seed = ptr(orp(d.Seed, int64(DefaultSeed)))
+	if d.ShardSize == 0 {
+		d.ShardSize = DefaultShard
+	}
+	return d
+}
+
+// withEngineDefaults resolves an EngineSpec's defaults — shared by
+// WithDefaults and by GuardHash, which substitutes the canonical engine
+// block because engine choice never changes results.
+func (e EngineSpec) withEngineDefaults() EngineSpec {
+	if e.Kind == "" {
+		e.Kind = "session"
+	}
+	if e.Arrival.Process == "" {
+		e.Arrival.Process = "poisson"
+	}
+	if e.Arrival.Rate == 0 && e.Arrival.Process == "poisson" {
+		e.Arrival.Rate = DefaultRate
+	}
+	if e.Tick == 0 {
+		e.Tick = DefaultTick
+	}
+	return e
+}
+
+// Clone returns a deep copy: no pointer field or slice is shared with the
+// receiver, so mutating the copy (or what its pointers point at) never
+// touches the original. The registry hands out clones for exactly this
+// reason.
+func (s Spec) Clone() Spec {
+	c := s
+	c.Daily.Window = clonePtr(s.Daily.Window)
+	c.Daily.Retrain = clonePtr(s.Daily.Retrain)
+	c.Daily.Ablation = clonePtr(s.Daily.Ablation)
+	if s.Model.Hidden != nil {
+		c.Model.Hidden = append([]int{}, s.Model.Hidden...)
+	}
+	c.Train.RecencyBase = clonePtr(s.Train.RecencyBase)
+	c.Drift.RateFactorPerDay = clonePtr(s.Drift.RateFactorPerDay)
+	c.Drift.RateFactorFloor = clonePtr(s.Drift.RateFactorFloor)
+	c.Drift.SigmaWidenPerDay = clonePtr(s.Drift.SigmaWidenPerDay)
+	c.Drift.SlowSharePerDay = clonePtr(s.Drift.SlowSharePerDay)
+	c.Drift.SlowShareCap = clonePtr(s.Drift.SlowShareCap)
+	c.Drift.OutagesPerHour = clonePtr(s.Drift.OutagesPerHour)
+	c.Drift.OutageCapPerHour = clonePtr(s.Drift.OutageCapPerHour)
+	c.Drift.Mix = clonePtr(s.Drift.Mix)
+	c.Drift.MixStartDay = clonePtr(s.Drift.MixStartDay)
+	c.Drift.MixRampDays = clonePtr(s.Drift.MixRampDays)
+	c.Seed = clonePtr(s.Seed)
+	return c
+}
+
+func clonePtr[T any](p *T) *T {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+// enum reports whether v is one of the allowed values.
+func enum(v string, allowed ...string) bool {
+	for _, a := range allowed {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks a fully-defaulted spec, returning actionable errors that
+// name the JSON field. Call WithDefaults first (Compile does both).
+func (s *Spec) Validate() error {
+	if !enum(s.Env.World, "insitu", "emulation") {
+		return fmt.Errorf("scenario: env.world = %q, want insitu or emulation", s.Env.World)
+	}
+	if s.Env.Paths != "" && !enum(s.Env.Paths, "puffer", "fcc", "cs2p", "congested") {
+		return fmt.Errorf("scenario: env.paths = %q, want puffer, fcc, cs2p, or congested (or omit it for the world's own family)", s.Env.Paths)
+	}
+	if s.Daily.Days <= 0 {
+		return fmt.Errorf("scenario: daily.days = %d, must be positive", s.Daily.Days)
+	}
+	if s.Daily.Sessions <= 0 {
+		return fmt.Errorf("scenario: daily.sessions = %d, must be positive", s.Daily.Sessions)
+	}
+	if w := orp(s.Daily.Window, 0); w < 0 {
+		return fmt.Errorf("scenario: daily.window = %d, must be >= 0 (0 trains on all days so far)", w)
+	}
+	for i, h := range s.Model.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("scenario: model.hidden[%d] = %d, layer widths must be positive (use [] for the linear ablation)", i, h)
+		}
+	}
+	if s.Model.Horizon < 1 {
+		return fmt.Errorf("scenario: model.horizon = %d, must be >= 1", s.Model.Horizon)
+	}
+	if s.Train.Epochs <= 0 {
+		return fmt.Errorf("scenario: train.epochs = %d, must be positive", s.Train.Epochs)
+	}
+	if s.Train.BatchSize <= 0 {
+		return fmt.Errorf("scenario: train.batch_size = %d, must be positive", s.Train.BatchSize)
+	}
+	if s.Train.LR <= 0 {
+		return fmt.Errorf("scenario: train.lr = %g, must be positive", s.Train.LR)
+	}
+	if rb := orp(s.Train.RecencyBase, 0); rb < 0 || rb > 1 {
+		return fmt.Errorf("scenario: train.recency_base = %g, must be in [0, 1] (0 or 1 = uniform weighting)", rb)
+	}
+	if err := s.Drift.validate(); err != nil {
+		return err
+	}
+	if !enum(s.Engine.Kind, "session", "fleet") {
+		return fmt.Errorf("scenario: engine.kind = %q, want session or fleet", s.Engine.Kind)
+	}
+	switch s.Engine.Arrival.Process {
+	case "poisson":
+		if s.Engine.Arrival.Rate <= 0 {
+			return fmt.Errorf("scenario: engine.arrival.rate = %g, must be positive (sessions per virtual second)", s.Engine.Arrival.Rate)
+		}
+	case "burst":
+		if s.Engine.Arrival.Burst <= 0 {
+			return fmt.Errorf("scenario: engine.arrival.burst = %d, must be positive (sessions per burst)", s.Engine.Arrival.Burst)
+		}
+		if s.Engine.Arrival.Gap < 0 {
+			return fmt.Errorf("scenario: engine.arrival.gap = %g, must be >= 0 (virtual seconds between bursts)", s.Engine.Arrival.Gap)
+		}
+	default:
+		return fmt.Errorf("scenario: engine.arrival.process = %q, want poisson or burst", s.Engine.Arrival.Process)
+	}
+	if s.Engine.Tick <= 0 {
+		return fmt.Errorf("scenario: engine.tick = %g, must be positive (virtual seconds)", s.Engine.Tick)
+	}
+	if s.ShardSize <= 0 {
+		return fmt.Errorf("scenario: shard_size = %d, must be positive", s.ShardSize)
+	}
+	return nil
+}
+
+func (d *DriftSpec) validate() error {
+	if !enum(d.Preset, "none", "decay", "shift", "mix") {
+		return fmt.Errorf("scenario: drift.preset = %q, want none, decay, shift, or mix", d.Preset)
+	}
+	nonneg := func(name string, p *float64) error {
+		if p != nil && *p < 0 {
+			return fmt.Errorf("scenario: drift.%s = %g, must be >= 0", name, *p)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		p    *float64
+	}{
+		{"rate_factor_per_day", d.RateFactorPerDay},
+		{"rate_factor_floor", d.RateFactorFloor},
+		{"sigma_widen_per_day", d.SigmaWidenPerDay},
+		{"outages_per_hour", d.OutagesPerHour},
+		{"outage_cap_per_hour", d.OutageCapPerHour},
+	} {
+		if err := nonneg(c.name, c.p); err != nil {
+			return err
+		}
+	}
+	frac := func(name string, p *float64) error {
+		if p != nil && (*p < 0 || *p > 1) {
+			return fmt.Errorf("scenario: drift.%s = %g, must be a fraction in [0, 1]", name, *p)
+		}
+		return nil
+	}
+	if err := frac("slow_share_per_day", d.SlowSharePerDay); err != nil {
+		return err
+	}
+	if err := frac("slow_share_cap", d.SlowShareCap); err != nil {
+		return err
+	}
+	if d.Mix != nil && !enum(*d.Mix, "none", "", "congested", "fcc", "cs2p") {
+		return fmt.Errorf("scenario: drift.mix = %q, want congested, fcc, cs2p, or none", *d.Mix)
+	}
+	if d.MixStartDay != nil && *d.MixStartDay < 0 {
+		return fmt.Errorf("scenario: drift.mix_start_day = %d, must be >= 0", *d.MixStartDay)
+	}
+	return nil
+}
+
+// Parse decodes a spec from strict JSON: unknown fields are rejected (they
+// are almost always typos that would otherwise silently run a different
+// experiment), and so is trailing garbage. The result is returned as
+// written — call WithDefaults (or Compile) to resolve defaults.
+func Parse(blob []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	var extra any
+	if err := dec.Decode(&extra); err == nil {
+		return Spec{}, fmt.Errorf("scenario: trailing data after spec JSON")
+	}
+	return s, nil
+}
+
+// ParseFile reads a spec from a JSON file (strict, like Parse).
+func ParseFile(path string) (Spec, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: reading spec file: %w", err)
+	}
+	s, err := Parse(blob)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// CanonicalJSON renders the fully-defaulted spec in its canonical form:
+// defaults materialized, fields in declaration order, stable indentation.
+// Two specs describing the same experiment produce identical bytes, no
+// matter which fields their authors spelled out or in what order.
+func (s Spec) CanonicalJSON() []byte {
+	d := s.WithDefaults()
+	blob, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		// Spec contains only plain data; marshaling cannot fail.
+		panic(fmt.Sprintf("scenario: canonical marshal: %v", err))
+	}
+	return append(blob, '\n')
+}

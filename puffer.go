@@ -26,6 +26,15 @@
 // the regime where the paper's daily retraining visibly beats a frozen
 // model instead of tying it.
 //
+// The platform's front door is the scenario API: every experiment is one
+// declarative, serializable ScenarioSpec (environment, daily-loop shape,
+// drift, engine, seed), built with NewScenario options, looked up by name
+// (ScenarioByName), or parsed from a committed JSON file
+// (ParseScenarioFile), and executed with RunScenario — which also runs the
+// frozen-model staleness companion when the spec's ablation is on. The
+// spec's content hash guards checkpoint directories against resuming a
+// different experiment.
+//
 // Trials can also run on the fleet engine (RunFleetTrial, or
 // DailyConfig.Engine = "fleet"): a discrete-event, virtual-time multiplexer
 // that serves hundreds of interleaved sessions at once — Poisson arrivals,
@@ -47,6 +56,7 @@ import (
 	"puffer/internal/netem"
 	"puffer/internal/pensieve"
 	"puffer/internal/runner"
+	"puffer/internal/scenario"
 	"puffer/internal/telemetry"
 )
 
@@ -136,6 +146,21 @@ type (
 	// ConcurrencySeries counts concurrently live sessions over virtual
 	// time (the fleet engine's occupancy record).
 	ConcurrencySeries = telemetry.ConcurrencySeries
+	// ScenarioSpec is the single declarative description of an
+	// experiment: environment, daily-loop shape, model/training knobs,
+	// drift schedule, engine, seed, sharding — serializable as strict
+	// JSON, defaulted in one place, and content-hashed (the hash guards
+	// checkpoint manifests). See RunScenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioOption is a functional option for NewScenario.
+	ScenarioOption = scenario.Option
+	// ScenarioRunOptions are the scheduling-side knobs of RunScenario
+	// (workers, checkpoint dir, logging); they never change results.
+	ScenarioRunOptions = scenario.RunOptions
+	// ScenarioOutcome is a finished scenario run: the fully-defaulted
+	// spec, the main result, and the frozen-model companion when the
+	// spec's ablation ran.
+	ScenarioOutcome = scenario.Outcome
 )
 
 // Analysis filters (Figure 8's two panels).
@@ -271,3 +296,50 @@ func FleetArrivalTimes(proc ArrivalProcess, seed int64, n int) []float64 {
 func StalenessGaps(retrained, frozen *DailyResult, scheme string) []GapRow {
 	return runner.StalenessGaps(retrained, frozen, scheme)
 }
+
+// NewScenario builds a ScenarioSpec from functional options; anything not
+// set resolves to the platform defaults. The option constructors below
+// mirror the spec's JSON fields.
+func NewScenario(opts ...ScenarioOption) ScenarioSpec { return scenario.New(opts...) }
+
+// Scenario spec options (see internal/scenario for the full set and the
+// corresponding JSON fields).
+var (
+	ScenarioWorld       = scenario.World
+	ScenarioDays        = scenario.Days
+	ScenarioSessions    = scenario.Sessions
+	ScenarioWindow      = scenario.Window
+	ScenarioRetrain     = scenario.Retrain
+	ScenarioAblation    = scenario.Ablation
+	ScenarioSeed        = scenario.Seed
+	ScenarioEpochs      = scenario.Epochs
+	ScenarioDriftPreset = scenario.Drift
+	ScenarioEngine      = scenario.Engine
+	ScenarioArrivals    = scenario.ArrivalRate
+	ScenarioBursts      = scenario.Bursts
+)
+
+// RunScenario compiles and executes a scenario spec — the platform's one
+// front door, shared with cmd/puffer-daily and the nightly workflow: the
+// main run, plus the frozen-model staleness companion on the same seed
+// when the spec enables its ablation. Parse a committed spec file with
+// ParseScenarioFile, look one up by name with ScenarioByName, or build one
+// with NewScenario.
+func RunScenario(spec ScenarioSpec, opt ScenarioRunOptions) (*ScenarioOutcome, error) {
+	return scenario.Run(spec, opt)
+}
+
+// CompileScenario lowers a spec into the DailyConfig that would execute it,
+// for callers who want to drive RunDaily themselves.
+func CompileScenario(spec ScenarioSpec) (DailyConfig, error) { return scenario.Compile(spec) }
+
+// ScenarioByName returns a registered built-in scenario ("stationary",
+// "drift-shift", "fleet-burst", ...).
+func ScenarioByName(name string) (ScenarioSpec, bool) { return scenario.Lookup(name) }
+
+// ScenarioNames lists the registered scenarios.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ParseScenarioFile reads a spec from strict JSON (unknown fields are
+// rejected) — the format -dump-scenario emits.
+func ParseScenarioFile(path string) (ScenarioSpec, error) { return scenario.ParseFile(path) }
