@@ -17,7 +17,10 @@ EXAMPLE_SCALE ?= 0.1
 # registered scenario, clamped to 2 days x 8 sessions x 1 epoch minimum).
 SCENARIO_SCALE ?= 0.02
 
-.PHONY: fmt fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke ci
+# Scratch dir for the sweep smoke run's index + checkpoints.
+SWEEP_DIR ?= /tmp/puffer-sweep-smoke
+
+.PHONY: fmt fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke ci
 
 fmt:
 	gofmt -w .
@@ -86,4 +89,26 @@ scenario-smoke:
 		cmp $$bin/$$s.byname.out $$bin/$$s.byfile.out; \
 	done
 
-ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke
+# Sweep smoke: run the committed 2x2 drift x engine grid into a fresh
+# index, then launch the identical sweep again — the second launch must
+# find every cell in the index and execute zero runs. A query over the
+# populated index must match the committed golden (deterministic columns
+# only: expansion names, axis values, spec hashes).
+sweep-smoke:
+	@set -e; \
+	bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin/puffer-sweep ./cmd/puffer-sweep; \
+	rm -rf $(SWEEP_DIR); \
+	PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-sweep run \
+		-sweep scenarios/sweeps/smoke-grid.json \
+		-index $(SWEEP_DIR)/index.jsonl -checkpoint $(SWEEP_DIR)/ckpt; \
+	out=$$(PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-sweep run \
+		-sweep scenarios/sweeps/smoke-grid.json \
+		-index $(SWEEP_DIR)/index.jsonl -checkpoint $(SWEEP_DIR)/ckpt); \
+	echo "$$out"; \
+	case "$$out" in *"ran 0,"*) ;; *) echo "sweep-smoke: second launch executed cells"; exit 1;; esac; \
+	$$bin/puffer-sweep query -index $(SWEEP_DIR)/index.jsonl \
+		-cols name,drift.preset,engine.kind,hash > $$bin/query.out; \
+	cmp $$bin/query.out scenarios/sweeps/smoke-grid.golden
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke

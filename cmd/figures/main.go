@@ -4,6 +4,8 @@
 //	figures -fig 1            # the primary results table
 //	figures -fig 8 -scale 3000
 //	figures -fig all          # everything (slow)
+//	figures -fig drift -results results/index.jsonl
+//	                          # read the warehouse; run only missing cells
 //
 // Figure ids: 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, A1, 3.4, 4.6, 5.3, plus
 // "drift" — the staleness ablation in a nonstationary deployment (the
@@ -27,6 +29,7 @@ func main() {
 	fig := flag.String("fig", "1", "figure/section id to regenerate, or 'all'")
 	scale := flag.Int("scale", figures.DefaultScale, "primary experiment size in sessions")
 	seed := flag.Int64("seed", 1, "suite seed")
+	resultsPath := flag.String("results", "", "results index: scenario-backed figures (drift, fleet) read it and only launch missing cells, appending fresh records (empty: always run)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -38,6 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	suite.Results = *resultsPath
 
 	w := os.Stdout
 	run := func(id string) error {

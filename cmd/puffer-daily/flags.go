@@ -16,6 +16,7 @@ type cliConfig struct {
 	spec scenario.Spec
 
 	list       bool
+	jsonOut    bool
 	dump       bool
 	workers    int
 	checkpoint string
@@ -34,6 +35,7 @@ func parseCLI(args []string) (*cliConfig, error) {
 
 	scenarioArg := fs.String("scenario", "", "base scenario: a registered name (see -list-scenarios) or a spec .json file (default: the built-in defaults)")
 	fs.BoolVar(&cli.list, "list-scenarios", false, "list the registered scenarios and exit")
+	fs.BoolVar(&cli.jsonOut, "json", false, "with -list-scenarios: emit JSON (name, notes, spec hash, guard hash)")
 	fs.BoolVar(&cli.dump, "dump-scenario", false, "print the effective fully-defaulted spec as canonical JSON and exit (commit it, edit it, re-run it)")
 
 	days := fs.Int("days", scenario.DefaultDays, "override: deployment days to simulate (count)")

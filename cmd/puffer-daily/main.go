@@ -33,9 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
-	"strconv"
 
 	"puffer/internal/experiment"
 	"puffer/internal/netem"
@@ -55,9 +53,8 @@ func main() {
 	}
 
 	if cli.list {
-		for _, name := range scenario.Names() {
-			s, _ := scenario.Lookup(name)
-			fmt.Printf("%-15s %s\n", name, s.Notes)
+		if err := scenario.WriteListings(os.Stdout, cli.jsonOut); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
@@ -70,7 +67,7 @@ func main() {
 		os.Stdout.Write(spec.CanonicalJSON())
 		return
 	}
-	spec = applyScale(spec)
+	spec = scenario.ScaleFromEnv(spec)
 
 	logf := log.Printf
 	if cli.quiet {
@@ -94,33 +91,6 @@ func main() {
 		printRun(os.Stdout, runLabel(false), out.Frozen)
 		printComparison(os.Stdout, out.Result, out.Frozen, &out.Schedule)
 	}
-}
-
-// applyScale shrinks (or grows) the run by PUFFER_SCENARIO_SCALE: sessions,
-// days, and epochs scale proportionally, clamped so even a tiny smoke run
-// still bootstraps a model and deploys it (2 days, 8 sessions, 1 epoch).
-// Scaling changes results — it exists for CI smokes, never for resuming
-// real checkpoints.
-func applyScale(s scenario.Spec) scenario.Spec {
-	v := os.Getenv("PUFFER_SCENARIO_SCALE")
-	if v == "" {
-		return s
-	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil || f <= 0 || f == 1 {
-		return s
-	}
-	scale := func(n int, min int) int {
-		n = int(math.Round(float64(n) * f))
-		if n < min {
-			n = min
-		}
-		return n
-	}
-	s.Daily.Days = scale(s.Daily.Days, 2)
-	s.Daily.Sessions = scale(s.Daily.Sessions, 8)
-	s.Train.Epochs = scale(s.Train.Epochs, 1)
-	return s
 }
 
 func runLabel(retrain bool) string {

@@ -1,0 +1,208 @@
+// Command puffer-sweep runs grids of scenarios once and queries them
+// forever. A sweep file names a base scenario plus axes over spec fields;
+// every expanded cell is content-addressed by its spec hash, so results
+// accumulate in an append-only index and a re-launch executes only the
+// cells the index is missing:
+//
+//	puffer-sweep run -sweep grid.json -index results/index.jsonl \
+//	    -checkpoint results/ckpt          # run the missing cells
+//	puffer-sweep status -sweep grid.json -index results/index.jsonl
+//	puffer-sweep status                    # the registered-scenario catalog
+//	puffer-sweep query -index results/index.jsonl \
+//	    -where drift.preset=shift -cols name,Fugu.stall_pct
+//	puffer-sweep query -index results/index.jsonl -per-day \
+//	    -group-by day -agg mean -agg-col gap_pp
+//
+// Cells run as subprocesses (puffer-sweep re-execs itself per cell) across
+// a bounded worker pool; -inprocess runs them in this process instead.
+// Each checkpoint directory is keyed by the cell's GuardHash, so a killed
+// sweep resumes per-cell through the existing manifest guard.
+// PUFFER_SCENARIO_SCALE shrinks every cell for smoke runs — it is applied
+// before hashing, so scaled and unscaled runs never collide in the index.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"puffer/internal/results"
+	"puffer/internal/scenario"
+	"puffer/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("puffer-sweep: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case runCellFlag:
+		// Hidden subprocess mode: the executor re-execs this binary once
+		// per cell.
+		err = cmdRunCell(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: puffer-sweep <subcommand> [flags]
+
+  run     expand a sweep file and run the cells the index is missing
+  status  show each cell's disposition against the index
+          (without -sweep: list the registered base scenarios)
+  query   filter/project/aggregate the results index
+
+Run "puffer-sweep <subcommand> -h" for flags.
+`)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("puffer-sweep run", flag.ContinueOnError)
+	sweepFile := fs.String("sweep", "", "sweep spec .json file (required)")
+	index := fs.String("index", "results/index.jsonl", "results index to read and append")
+	checkpoint := fs.String("checkpoint", "", "checkpoint root (one dir per cell GuardHash; empty = no checkpointing)")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS); same-guard cells serialize regardless")
+	cellWorkers := fs.Int("cell-workers", 0, "shard workers inside each cell (0 = GOMAXPROCS); never changes results")
+	inprocess := fs.Bool("inprocess", false, "run cells in this process instead of subprocesses")
+	quiet := fs.Bool("q", false, "suppress progress logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sweepFile == "" {
+		return fmt.Errorf("run: -sweep is required")
+	}
+	sw, err := sweep.ParseFile(*sweepFile)
+	if err != nil {
+		return err
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	runner := sweep.InProcess(*cellWorkers, logf)
+	if !*inprocess {
+		runner = subprocessRunner(*cellWorkers, *quiet)
+	}
+	rep, err := sweep.Execute(sw, sweep.ExecConfig{
+		Workers:        *workers,
+		IndexPath:      *index,
+		CheckpointRoot: *checkpoint,
+		Run:            runner,
+		Transform:      scenario.ScaleFromEnv,
+		Logf:           logf,
+	})
+	if rep != nil {
+		fmt.Printf("cells %d: ran %d, already indexed %d, skipped %d, failed %d\n",
+			rep.Total, rep.Ran, rep.Indexed, rep.Skipped, rep.Failed)
+	}
+	return err
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("puffer-sweep status", flag.ContinueOnError)
+	sweepFile := fs.String("sweep", "", "sweep spec .json file (empty: list the registered scenarios instead)")
+	index := fs.String("index", "results/index.jsonl", "results index to check against")
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sweepFile == "" {
+		// No sweep: the catalog of registered base scenarios, through the
+		// same registry walk puffer-daily -list-scenarios uses.
+		return scenario.WriteListings(os.Stdout, *jsonOut)
+	}
+	sw, err := sweep.ParseFile(*sweepFile)
+	if err != nil {
+		return err
+	}
+	cells, err := sweep.Status(sw, *index, scenario.ScaleFromEnv)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		type row struct {
+			Index     int    `json:"index"`
+			Name      string `json:"name"`
+			Hash      string `json:"hash"`
+			GuardHash string `json:"guard_hash"`
+			State     string `json:"state"`
+		}
+		rows := make([]row, 0, len(cells))
+		for _, c := range cells {
+			rows = append(rows, row{c.Index, c.Name, c.Hash, c.GuardHash, c.State})
+		}
+		return writeJSON(os.Stdout, rows)
+	}
+	indexed := 0
+	for _, c := range cells {
+		if c.State == "indexed" {
+			indexed++
+		}
+		fmt.Printf("%-8s %s (%s)\n", c.State, c.Name, c.Hash[:12])
+	}
+	fmt.Printf("%d/%d cells indexed in %s\n", indexed, len(cells), *index)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("puffer-sweep query", flag.ContinueOnError)
+	index := fs.String("index", "results/index.jsonl", "results index to query")
+	where := fs.String("where", "", `predicates, e.g. "drift.preset=shift,daily.sessions>=100"`)
+	cols := fs.String("cols", "", "projection columns, comma-separated (default: name,hash)")
+	groupBy := fs.String("group-by", "", "group by these columns, comma-separated")
+	agg := fs.String("agg", "", "aggregate per group: mean, sum, min, max, or count")
+	aggCol := fs.String("agg-col", "", "column the aggregate reduces")
+	perDay := fs.Bool("per-day", false, "query the per-day staleness gap rows instead of one row per record")
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := results.Load(*index)
+	if err != nil {
+		return err
+	}
+	preds, err := results.ParsePreds(*where)
+	if err != nil {
+		return err
+	}
+	q := results.Query{
+		PerDay:  *perDay,
+		Where:   preds,
+		Cols:    splitList(*cols),
+		GroupBy: splitList(*groupBy),
+		Agg:     *agg,
+		AggCol:  *aggCol,
+	}
+	table, err := ix.Query(q)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return table.WriteJSON(os.Stdout)
+	}
+	return table.WriteText(os.Stdout)
+}

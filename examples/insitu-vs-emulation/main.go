@@ -28,27 +28,32 @@ import (
 	"puffer/internal/core"
 )
 
-func trainIn(env puffer.Env, name string, seed int64) *puffer.TTP {
-	behavior := []puffer.Scheme{{Name: "BBA", New: puffer.NewBBA}}
-	log.Printf("collecting %s telemetry...", name)
-	data, err := puffer.CollectDataset(env, behavior, exscale.Scaled(150), seed, 0)
+// trainIn trains a TTP the way the platform does everywhere else: as a
+// declarative scenario — a two-day continual loop in the named world (day
+// 0 collects bootstrap telemetry and trains overnight; day 1 deploys that
+// Fugu and retrains on both days). The spec is the whole experiment; no
+// hand-assembled collection or training configs.
+func trainIn(world, name string, seed int64) *puffer.TTP {
+	log.Printf("training %s TTP (two-day continual loop)...", name)
+	out, err := puffer.RunScenario(puffer.NewScenario(
+		puffer.ScenarioWorld(world),
+		puffer.ScenarioDays(2),
+		puffer.ScenarioSessions(exscale.Scaled(150)),
+		puffer.ScenarioWindow(2),
+		puffer.ScenarioSeed(seed),
+		puffer.ScenarioEpochs(8),
+		puffer.ScenarioAblation(false),
+	), puffer.ScenarioRunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ttp := puffer.NewTTP(seed + 1)
-	cfg := puffer.DefaultTrainConfig()
-	cfg.Epochs = 8
-	log.Printf("training %s TTP on %d chunks...", name, data.NumChunks())
-	if err := puffer.TrainTTP(ttp, data, cfg); err != nil {
-		log.Fatal(err)
-	}
-	return ttp
+	return out.Result.TTP
 }
 
 func main() {
 	log.SetFlags(0)
-	insitu := trainIn(puffer.DefaultEnv(), "in-situ", 1)
-	emu := trainIn(puffer.EmulationEnv(), "emulation", 10)
+	insitu := trainIn("insitu", "in-situ", 1)
+	emu := trainIn("emulation", "emulation", 10)
 
 	log.Println("deploying both on real-world (heavy-tailed) paths...")
 	res, err := puffer.RunExperiment(puffer.Config{

@@ -3,7 +3,6 @@ package figures
 import (
 	"io"
 
-	"puffer/internal/runner"
 	"puffer/internal/scenario"
 )
 
@@ -20,43 +19,51 @@ type FigDriftRow struct {
 	Drift string
 }
 
-// FigDrift runs the drift extension of §4.6: the same staleness ablation
-// the paper ran in its (stationary) deployment, but in a deployment whose
-// path population shifts under the model (the "shift" preset: the slow-path
-// share grows daily and deep outages ramp). In situ retraining tracks the
-// moving distribution; the frozen model falls behind at an accelerating
-// rate — the separation the paper's Figure-9-style drift argument predicts
-// emulation-or-stale training cannot avoid.
+// figDriftSpec is the figure's experiment, declared as a spec so its hash
+// keys the results warehouse: the same staleness ablation the paper ran in
+// its (stationary) deployment, but under the "shift" drift preset.
+func (s *Suite) figDriftSpec() scenario.Spec {
+	sessions := s.Scale / 4
+	if sessions < 48 {
+		sessions = 48
+	}
+	spec := scenario.New(
+		scenario.Days(4),
+		scenario.Sessions(sessions),
+		scenario.Window(0),
+		scenario.Seed(s.Seed+600),
+		scenario.Epochs(6),
+		scenario.Drift("shift"),
+	)
+	spec.Name = "fig-drift"
+	return spec
+}
+
+// FigDrift runs (or reads back) the drift extension of §4.6: the staleness
+// ablation in a deployment whose path population shifts under the model
+// (the "shift" preset: the slow-path share grows daily and deep outages
+// ramp). In situ retraining tracks the moving distribution; the frozen
+// model falls behind at an accelerating rate — the separation the paper's
+// Figure-9-style drift argument predicts emulation-or-stale training
+// cannot avoid. With Suite.Results set, a populated index answers this
+// figure without launching a single run: the record's precomputed per-day
+// gap rows are the table.
 func (s *Suite) FigDrift(w io.Writer) ([]FigDriftRow, error) {
 	if s.drift == nil {
-		sessions := s.Scale / 4
-		if sessions < 48 {
-			sessions = 48
+		spec := s.figDriftSpec().WithDefaults()
+		sched, err := spec.Schedule()
+		if err != nil {
+			return nil, err
 		}
-		const days = 4
-		// The experiment is the registered "drift-shift" scenario at the
-		// suite's scale and seed: the spec's ablation runs both arms on
-		// paired sessions. Fewer nightly epochs than the suite's offline
-		// trainings — the loop retrains 4 times per arm and warm starts
-		// make each cheap.
-		spec := scenario.New(
-			scenario.Days(days),
-			scenario.Sessions(sessions),
-			scenario.Window(0),
-			scenario.Seed(s.Seed+600),
-			scenario.Epochs(6),
-			scenario.Drift("shift"),
-		)
-		s.Logf("running drift staleness experiment (%d days x %d sessions, both arms)...", days, sessions)
-		out, err := scenario.Run(spec, scenario.RunOptions{
-			Logf: func(format string, args ...any) { s.Logf("  "+format, args...) },
-		})
+		s.Logf("drift staleness experiment (%d days x %d sessions, both arms)...",
+			spec.Daily.Days, spec.Daily.Sessions)
+		rec, err := s.scenarioRecord(spec)
 		if err != nil {
 			return nil, err
 		}
 
-		rows := make([]FigDriftRow, 0, days)
-		for _, g := range runner.StalenessGaps(out.Result, out.Frozen, "Fugu") {
+		rows := make([]FigDriftRow, 0, len(rec.Outcome.Gaps))
+		for _, g := range rec.Outcome.Gaps {
 			if !g.Present {
 				continue
 			}
@@ -65,7 +72,7 @@ func (s *Suite) FigDrift(w io.Writer) ([]FigDriftRow, error) {
 				RetrainedStallPct: 100 * g.Retrained,
 				FrozenStallPct:    100 * g.Frozen,
 				GapPP:             100 * g.Gap,
-				Drift:             out.Schedule.Describe(g.Day),
+				Drift:             sched.Describe(g.Day),
 			})
 		}
 		s.drift = rows

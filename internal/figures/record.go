@@ -1,0 +1,49 @@
+package figures
+
+import (
+	"time"
+
+	"puffer/internal/results"
+	"puffer/internal/scenario"
+)
+
+// scenarioRecord answers a figure's whole-scenario experiment from the
+// results warehouse: when the suite has an index that already holds the
+// spec's hash, the record is read back and nothing runs; otherwise the
+// scenario runs here and the fresh record is appended (single-writer
+// contract: one figures process owns the index while it runs).
+func (s *Suite) scenarioRecord(spec scenario.Spec) (*results.Record, error) {
+	d := spec.WithDefaults()
+	if s.Results != "" {
+		ix, err := results.Load(s.Results)
+		if err != nil {
+			return nil, err
+		}
+		if rec, ok := ix.Get(d.Hash()); ok {
+			s.Logf("%s: found in results index (%s), not re-running", d.Name, d.Hash()[:12])
+			return rec, nil
+		}
+	}
+	started := time.Now()
+	out, err := scenario.Run(d, scenario.RunOptions{
+		Logf: func(format string, args ...any) { s.Logf("  "+format, args...) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec, err := results.FromOutcome(out, started, time.Since(started).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	if s.Results != "" {
+		w, err := results.OpenWriter(s.Results)
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		if err := w.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}

@@ -22,6 +22,11 @@ type Suite struct {
 	Scale int
 	// Seed makes the whole suite deterministic.
 	Seed int64
+	// Results, if set, is a results-warehouse index path: figures that run
+	// whole scenarios (drift, fleet) read it first and only launch the
+	// runs whose spec hash it is missing, appending fresh records for next
+	// time. Empty: always run, never persist.
+	Results string
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -104,17 +109,15 @@ func trainTTPInWorld(world string, sessions int, seed int64, logf func(string, .
 		scenario.Seed(seed),
 		scenario.Epochs(suiteTrainEpochs),
 		scenario.RecencyBase(1), // both days weighted equally when bootstrapping
+		scenario.Ablation(false),
 	)
-	cfg, err := scenario.Compile(spec)
+	out, err := scenario.Run(spec, scenario.RunOptions{
+		Logf: func(format string, args ...any) { logf("  "+format, args...) },
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg.Logf = func(format string, args ...any) { logf("  "+format, args...) }
-	res, err := runner.Run(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.TTP, res.Data, nil
+	return out.Result.TTP, out.Result.Data, nil
 }
 
 // suiteTrainEpochs is the offline trainings' epoch count (more than the

@@ -1,0 +1,31 @@
+// Package results is the platform's results warehouse: a content-addressed,
+// append-only index of finished experiment outcomes, keyed by the scenario
+// spec's canonical hash.
+//
+// The paper's headline result is a year of (scheme x network-condition x
+// day) cells aggregated into one analysis; this package is the layer that
+// lets those cells be run once and queried forever. Every record pairs the
+// fully-defaulted scenario spec (canonical JSON) with the run's
+// deterministic outcome — pooled per-scheme statistics, per-day stats, the
+// frozen-companion arm, and the per-day staleness gap rows — plus timing
+// and host metadata, which are explicitly excluded from the index's
+// identity (CanonicalBytes) because they are the only nondeterministic
+// part of a record.
+//
+// The index is a JSON-lines file with a single-writer atomic-append
+// contract: OpenWriter repairs a torn trailing line left by a kill
+// mid-append, and Append commits each record as one write of one line, so
+// a reader never observes half a record and a killed sweep resumes into a
+// well-formed file. Load reads the whole index (a missing file is an empty
+// index); Has/Get answer the sweep executor's "is this cell done" question
+// in O(1).
+//
+// On top sits a small query API: Rows flattens each record into dotted
+// spec columns ("drift.preset", "daily.sessions", ...) plus per-scheme
+// outcome columns ("Fugu.stall_pct", ...), GapRows explodes records into
+// per-day staleness rows, and Query filters by field predicates, projects
+// columns, and groups-and-aggregates — always in a deterministic order
+// independent of how records were appended. cmd/puffer-sweep's query
+// subcommand and the figures that read the index are thin wrappers over
+// it.
+package results

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Listing is one registered scenario's catalog row: the identity a caller
+// needs to pick, cache, or resume it without compiling anything.
+type Listing struct {
+	Name  string `json:"name"`
+	Notes string `json:"notes,omitempty"`
+	// Hash is the fully-defaulted spec's content hash — the results-index
+	// key a run of this scenario (unscaled, unmodified) would occupy.
+	Hash string `json:"hash"`
+	// GuardHash is the checkpoint-guard projection — the key a checkpoint
+	// directory for this scenario is pinned to.
+	GuardHash string `json:"guard_hash"`
+}
+
+// Listings walks the registry in sorted name order and returns one row per
+// registered scenario — the shared backing of puffer-daily -list-scenarios
+// and puffer-sweep status.
+func Listings() []Listing {
+	names := Names()
+	out := make([]Listing, 0, len(names))
+	for _, name := range names {
+		s, _ := Lookup(name)
+		d := s.WithDefaults()
+		out = append(out, Listing{
+			Name:      name,
+			Notes:     s.Notes,
+			Hash:      d.Hash(),
+			GuardHash: d.GuardHash(),
+		})
+	}
+	return out
+}
+
+// WriteListings prints the catalog: as indented JSON when jsonOut is set,
+// otherwise as an aligned two-column table of names and notes.
+func WriteListings(w io.Writer, jsonOut bool) error {
+	rows := Listings()
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-15s %s\n", r.Name, r.Notes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

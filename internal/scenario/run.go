@@ -15,7 +15,7 @@ type RunOptions struct {
 	Workers int
 	// CheckpointDir persists per-day state for kill-and-resume. The
 	// retrained run and the frozen ablation companion checkpoint side by
-	// side in <dir>/retrain and <dir>/frozen.
+	// side in <dir>/retrain and <dir>/frozen-<companion guard hash>.
 	CheckpointDir string
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
@@ -73,7 +73,7 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 		}
 		fcfg.Workers = opt.Workers
 		fcfg.Logf = opt.Logf
-		fcfg.CheckpointDir = checkpointFor(opt.CheckpointDir, false)
+		fcfg.CheckpointDir = frozenCheckpointDir(opt.CheckpointDir, frozen)
 		if out.Frozen, err = runner.Run(fcfg); err != nil {
 			return nil, err
 		}
@@ -81,8 +81,8 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 	return out, nil
 }
 
-// checkpointFor keeps the historical layout: the retrained run and the
-// frozen companion own sibling subdirectories of the caller's root.
+// checkpointFor keeps the historical layout: the main run owns a
+// subdirectory of the caller's root named for its retrain mode.
 func checkpointFor(root string, retrain bool) string {
 	if root == "" {
 		return ""
@@ -91,4 +91,17 @@ func checkpointFor(root string, retrain bool) string {
 		return filepath.Join(root, "retrain")
 	}
 	return filepath.Join(root, "frozen")
+}
+
+// frozenCheckpointDir names the ablation companion's checkpoint directory
+// by the companion's own GuardHash. A plain "frozen" sibling would alias
+// companions of different specs sharing one root (the manifest guard then
+// rejects the second companion as a corrupt resume instead of running it);
+// deriving the name from the companion's guard keeps each lineage its own
+// directory.
+func frozenCheckpointDir(root string, companion Spec) string {
+	if root == "" {
+		return ""
+	}
+	return filepath.Join(root, "frozen-"+companion.GuardHash()[:12])
 }

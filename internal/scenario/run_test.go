@@ -155,17 +155,23 @@ func TestScenarioLegacyManifestRejectedWithMigration(t *testing.T) {
 }
 
 // TestScenarioAblationPairing: the frozen companion runs on the same seed
-// with its own guard, checkpointed beside the retrained arm.
+// with its own guard, checkpointed beside the retrained arm in a directory
+// named by the companion's GuardHash (so companions of different specs
+// sharing one root never collide).
 func TestScenarioAblationPairing(t *testing.T) {
 	dir := t.TempDir()
-	out, err := Run(testSpec(17, Days(2), Ablation(true)), RunOptions{CheckpointDir: dir})
+	spec := testSpec(17, Days(2), Ablation(true))
+	out, err := Run(spec, RunOptions{CheckpointDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Frozen == nil {
 		t.Fatal("ablation did not run")
 	}
-	for _, sub := range []string{"retrain", "frozen"} {
+	companion := out.Spec
+	companion.Daily.Retrain = ptr(false)
+	frozenDir := "frozen-" + companion.GuardHash()[:12]
+	for _, sub := range []string{"retrain", frozenDir} {
 		if _, err := os.Stat(filepath.Join(dir, sub, "manifest.json")); err != nil {
 			t.Fatalf("missing %s checkpoint: %v", sub, err)
 		}

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"math"
+	"os"
+	"strconv"
+)
+
+// ScaleFromEnv shrinks (or grows) a run by PUFFER_SCENARIO_SCALE (e.g.
+// 0.05): sessions, days, and epochs scale proportionally, clamped so even
+// a tiny smoke run still bootstraps a model and deploys it (2 days, 8
+// sessions, 1 epoch). Scaling changes results — it exists for CI smokes,
+// never for resuming real checkpoints. With the variable unset (or not a
+// positive number other than 1) the spec is returned unchanged.
+//
+// Callers that index results by spec hash (the sweep executor, figures)
+// must apply this before hashing, so the index key describes the run that
+// actually happened.
+func ScaleFromEnv(s Spec) Spec {
+	v := os.Getenv("PUFFER_SCENARIO_SCALE")
+	if v == "" {
+		return s
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 || f == 1 {
+		return s
+	}
+	d := s.WithDefaults()
+	scale := func(n, min int) int {
+		n = int(math.Round(float64(n) * f))
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	d.Daily.Days = scale(d.Daily.Days, 2)
+	d.Daily.Sessions = scale(d.Daily.Sessions, 8)
+	d.Train.Epochs = scale(d.Train.Epochs, 1)
+	return d
+}

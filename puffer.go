@@ -35,6 +35,13 @@
 // spec's content hash guards checkpoint directories against resuming a
 // different experiment.
 //
+// On top of scenarios sits the sweep + results layer: a SweepSpec names a
+// base scenario plus axes over spec fields (grids or seeded-random
+// samples), and RunSweep expands it deterministically and executes only
+// the cells an append-only, content-addressed results index is missing —
+// run a grid once, query it forever with QueryResults (filter, project,
+// group-and-aggregate). cmd/puffer-sweep is the CLI over the same calls.
+//
 // Trials can also run on the fleet engine (RunFleetTrial, or
 // DailyConfig.Engine = "fleet"): a discrete-event, virtual-time multiplexer
 // that serves hundreds of interleaved sessions at once — Poisson arrivals,
@@ -55,8 +62,10 @@ import (
 	"puffer/internal/fleet"
 	"puffer/internal/netem"
 	"puffer/internal/pensieve"
+	"puffer/internal/results"
 	"puffer/internal/runner"
 	"puffer/internal/scenario"
+	"puffer/internal/sweep"
 	"puffer/internal/telemetry"
 )
 
@@ -261,6 +270,26 @@ func NewSuite(scale int, seed int64, logf func(string, ...any)) (*Suite, error) 
 	return figures.NewSuite(scale, seed, logf)
 }
 
+// ---------------------------------------------------------------------------
+// The front door: running experiments.
+//
+// Every way to execute an experiment is consolidated here, layered from
+// least to most declarative:
+//
+//   - RunExperiment (above): one randomized trial from an explicit Config.
+//   - RunFleetTrial: one trial on the fleet engine (virtual-time
+//     multiplexing, cross-session batched inference).
+//   - RunDaily: the continual loop from an explicit DailyConfig.
+//   - RunScenario: one declarative, serializable, content-hashed spec —
+//     what the CLI, the nightly workflow, and the figures run.
+//   - RunSweep: a grid of scenarios against the results warehouse; cells
+//     whose spec hash the index already holds are never re-run.
+//
+// LoadResults and QueryResults read back what sweeps (and scenario-backed
+// figures) recorded. Prefer the most declarative layer that can express
+// the experiment: specs hash, checkpoint, dedup, and serialize for free.
+// ---------------------------------------------------------------------------
+
 // RunDaily executes (or, with a checkpoint directory, resumes) the in-situ
 // continual experiment: each day runs a sharded randomized trial with the
 // currently-deployed schemes while telemetry is recorded, and a nightly
@@ -343,3 +372,73 @@ func ScenarioNames() []string { return scenario.Names() }
 // ParseScenarioFile reads a spec from strict JSON (unknown fields are
 // rejected) — the format -dump-scenario emits.
 func ParseScenarioFile(path string) (ScenarioSpec, error) { return scenario.ParseFile(path) }
+
+// ScenarioListings catalogs the registered scenarios in sorted order, with
+// each spec's content hash and checkpoint-guard hash — what
+// puffer-daily -list-scenarios and puffer-sweep status print.
+func ScenarioListings() []scenario.Listing { return scenario.Listings() }
+
+// Re-exported types: the sweep engine and the results warehouse.
+type (
+	// SweepSpec describes a sweep: a base scenario (a registered name or
+	// an inline spec) plus axes over spec fields, expanding
+	// deterministically into content-addressed scenario cells.
+	SweepSpec = sweep.Spec
+	// SweepAxis is one sweep dimension: a value grid or a seeded-random
+	// sample over a spec field ("drift.preset", "daily.sessions", ...).
+	SweepAxis = sweep.Axis
+	// SweepCell is one expanded experiment of a sweep.
+	SweepCell = sweep.Cell
+	// SweepExecConfig is the scheduling side of RunSweep (workers, index
+	// path, checkpoint root, cell runner); nothing in it changes results.
+	SweepExecConfig = sweep.ExecConfig
+	// SweepReport summarizes an execution: which cells ran, which the
+	// index already held, which failed.
+	SweepReport = sweep.Report
+	// ResultsRecord is one finished experiment in the warehouse, keyed by
+	// its spec's content hash.
+	ResultsRecord = results.Record
+	// ResultsIndex is a loaded append-only results index.
+	ResultsIndex = results.Index
+	// ResultsQuery filters, projects, and aggregates index rows.
+	ResultsQuery = results.Query
+	// ResultsTable is a query result with deterministic row/column order.
+	ResultsTable = results.Table
+)
+
+// ParseSweepFile reads a sweep spec from strict JSON.
+func ParseSweepFile(path string) (SweepSpec, error) { return sweep.ParseFile(path) }
+
+// RunSweep expands the sweep and executes exactly the cells whose spec
+// hash ec.IndexPath is missing, across a bounded worker pool (same-guard
+// cells serialize so they can share checkpoint directories), appending
+// records to the index in expansion order — re-launching a partial sweep
+// resumes only missing cells and converges on the same index bytes
+// (modulo timing/host) as an uninterrupted run. ec.Run defaults to
+// running cells in-process; cmd/puffer-sweep substitutes a subprocess
+// runner.
+func RunSweep(sw SweepSpec, ec SweepExecConfig) (*SweepReport, error) {
+	if ec.Run == nil {
+		ec.Run = sweep.InProcess(0, ec.Logf)
+	}
+	return sweep.Execute(sw, ec)
+}
+
+// LoadResults loads a results index (a missing file is an empty index).
+func LoadResults(path string) (*ResultsIndex, error) { return results.Load(path) }
+
+// QueryResults runs one query against a results index file: predicates,
+// projection, optional group-and-aggregate, optional per-day gap rows.
+// Results depend only on the set of distinct records, never on the order
+// they were appended.
+func QueryResults(indexPath string, q ResultsQuery) (*ResultsTable, error) {
+	ix, err := results.Load(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Query(q)
+}
+
+// ParseResultPreds parses a predicate list like
+// "drift.preset=shift,daily.sessions>=100" for ResultsQuery.Where.
+func ParseResultPreds(s string) ([]results.Pred, error) { return results.ParsePreds(s) }
