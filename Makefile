@@ -20,7 +20,13 @@ SCENARIO_SCALE ?= 0.02
 # Scratch dir for the sweep smoke run's index + checkpoints.
 SWEEP_DIR ?= /tmp/puffer-sweep-smoke
 
-.PHONY: fmt fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke ci
+# Output file for the machine-readable benchmark run (cmd/benchjson).
+BENCH_JSON ?= BENCH_7.json
+# Benchtime for bench-json: 1x is smoke speed; raise (e.g. 5x, 1s) for
+# timings worth committing.
+BENCH_TIME ?= 1x
+
+.PHONY: fmt fmt-check vet build test bench bench-json daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke ci
 
 fmt:
 	gofmt -w .
@@ -111,4 +117,53 @@ sweep-smoke:
 		-cols name,drift.preset,engine.kind,hash > $$bin/query.out; \
 	cmp $$bin/query.out scenarios/sweeps/smoke-grid.golden
 
-ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke
+# Machine-readable benchmark run: every benchmark through cmd/benchjson
+# into $(BENCH_JSON) — bench name, ns/op, allocs/op, custom metrics, plus
+# the fleet sessions/sec summary the observability contract budgets
+# regressions against.
+bench-json:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PUFFER_BENCH_SESSIONS=$(BENCH_SESSIONS) $(GO) test -run=NoTests -bench=. \
+		-benchtime=$(BENCH_TIME) -benchmem ./... | tee $$tmp/bench.txt; \
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) $$tmp/bench.txt; \
+	echo "wrote $(BENCH_JSON)"
+
+# Observability smoke: the zero-perturbation contract end to end on real
+# binaries. The same 2-day fleet scenario runs twice — observability off,
+# then fully on (live endpoint + exit dump + event log) with the snapshot
+# endpoint curled mid-run — and the runs must agree byte-for-byte on
+# stdout and on every checkpoint file. The live and exit snapshots must be
+# well-formed (jq) and publish the decision-latency summary.
+obs-smoke:
+	@set -e; \
+	bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin/puffer-daily ./cmd/puffer-daily; \
+	flags="-days 2 -sessions 48 -window 2 -epochs 1 -seed 7 -engine fleet -arrival-rate 4 -ablation=false"; \
+	$$bin/puffer-daily $$flags -checkpoint $$bin/off-ckpt -q > $$bin/off.out; \
+	port=$$((20000 + $$$$ % 20000)); \
+	$$bin/puffer-daily $$flags -checkpoint $$bin/on-ckpt \
+		-obs-listen 127.0.0.1:$$port -obs-dump $$bin/metrics.json \
+		-obs-events $$bin/run.events -q > $$bin/on.out & pid=$$!; \
+	live=""; \
+	for i in $$(seq 1 500); do \
+		if curl -sf http://127.0.0.1:$$port/metrics.json -o $$bin/live.json \
+			&& curl -sf http://127.0.0.1:$$port/metrics -o $$bin/live.prom \
+			&& curl -sf http://127.0.0.1:$$port/debug/pprof/cmdline -o $$bin/cmdline; then \
+			live=ok; break; \
+		fi; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 0.02; \
+	done; \
+	wait $$pid; \
+	test -n "$$live" || { echo "obs-smoke: live snapshot endpoint never answered"; exit 1; }; \
+	cmp $$bin/off.out $$bin/on.out; \
+	diff -r $$bin/off-ckpt $$bin/on-ckpt; \
+	jq -e '(.counters | type=="array") and (.histograms | type=="array")' $$bin/live.json >/dev/null; \
+	grep -q '^fleet_decision_ns{quantile="0.99"}' $$bin/live.prom; \
+	test -s $$bin/cmdline; \
+	jq -e '[.histograms[] | select(.name=="fleet_decision_ns")] | first | .count > 0' $$bin/metrics.json >/dev/null; \
+	jq -s -e '[.[] | select(.type=="day_done")] | length == 2' $$bin/run.events >/dev/null; \
+	echo "obs-smoke: obs-on run byte-identical to obs-off; endpoint and snapshots well-formed"
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke

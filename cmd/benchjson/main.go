@@ -1,0 +1,173 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// machine-readable JSON document, so benchmark runs can be committed,
+// diffed, and tracked across PRs:
+//
+//	go test -run=NoTests -bench=. -benchmem ./... | benchjson -o BENCH.json
+//	benchjson bench.txt          # read a saved run instead of stdin
+//
+// Each benchmark line becomes one record with the standard columns
+// (iterations, ns/op, B/op, allocs/op) plus every custom b.ReportMetric
+// unit under "metrics". The fleet engine's headline throughput numbers —
+// the sessions/sec metrics from BenchmarkFleetThroughput — are also lifted
+// into a top-level summary map, since they are the numbers the
+// observability contract budgets regressions against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Pkg        string `json:"pkg,omitempty"`
+	Name       string `json:"name"`
+	Procs      int    `json:"procs,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// NsPerOp keeps the fraction go test reports for sub-microsecond ops.
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Benchmarks []Bench `json:"benchmarks"`
+	// FleetSessionsPerSec maps BenchmarkFleetThroughput sub-benchmark names
+	// (per-session/w1, fleet/w1, fleet-obs/w1, ...) to their sessions/sec.
+	FleetSessionsPerSec map[string]float64 `json:"fleet_sessions_per_sec,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (empty = stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		log.Fatal("at most one input file")
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	doc, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse folds a `go test -bench` text stream into a Doc. Lines that are
+// not benchmark results (headers, PASS/ok, logs) are skipped; `pkg:`
+// headers attribute the results that follow to their package.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{FleetSessionsPerSec: map[string]float64{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(pkg, line)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		if b == nil {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, *b)
+		if sub, ok := strings.CutPrefix(b.Name, "FleetThroughput/"); ok {
+			if sps, ok := b.Metrics["sessions/sec"]; ok {
+				doc.FleetSessionsPerSec[sub] = sps
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	if len(doc.FleetSessionsPerSec) == 0 {
+		doc.FleetSessionsPerSec = nil
+	}
+	return doc, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName/sub-8   12   345 ns/op   67 B/op   8 allocs/op   9.1 sessions/sec
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Returns nil
+// for lines that start with "Benchmark" but are not results (e.g. a bare
+// name printed when a benchmark logs).
+func parseLine(pkg, line string) (*Bench, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil
+	}
+	b := &Bench{Pkg: pkg, Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: puffer/internal/fleet
+cpu: whatever
+BenchmarkFleetThroughput/per-session/w1-8         	      12	  91946320 ns/op	 2610864 B/op	   34747 allocs/op	       261.0 sessions/sec
+BenchmarkFleetThroughput/fleet/w1-8               	      24	  45973160 ns/op	 1305432 B/op	   17373 allocs/op	       522.0 sessions/sec
+BenchmarkFleetThroughput/fleet-obs/w1-8           	      24	  46432891 ns/op	 1305500 B/op	   17380 allocs/op	       516.9 sessions/sec
+PASS
+ok  	puffer/internal/fleet	3.210s
+pkg: puffer/internal/nn
+BenchmarkForwardPacked/rows=64-8                  	    5000	    234567 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	puffer/internal/nn	1.002s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Pkg != "puffer/internal/fleet" || b.Name != "FleetThroughput/per-session/w1" ||
+		b.Procs != 8 || b.Iterations != 12 || b.NsPerOp != 91946320 ||
+		b.BytesPerOp != 2610864 || b.AllocsPerOp != 34747 {
+		t.Fatalf("first benchmark parsed wrong: %+v", b)
+	}
+	if got := b.Metrics["sessions/sec"]; got != 261.0 {
+		t.Fatalf("sessions/sec = %v, want 261", got)
+	}
+	if doc.Benchmarks[3].Pkg != "puffer/internal/nn" {
+		t.Fatalf("pkg header not tracked: %+v", doc.Benchmarks[3])
+	}
+	want := map[string]float64{"per-session/w1": 261.0, "fleet/w1": 522.0, "fleet-obs/w1": 516.9}
+	if len(doc.FleetSessionsPerSec) != len(want) {
+		t.Fatalf("fleet summary: %+v", doc.FleetSessionsPerSec)
+	}
+	for k, v := range want {
+		if doc.FleetSessionsPerSec[k] != v {
+			t.Fatalf("fleet summary[%s] = %v, want %v", k, doc.FleetSessionsPerSec[k], v)
+		}
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want an error for input with no benchmark lines")
+	}
+}

@@ -21,30 +21,48 @@ import (
 	"os"
 
 	"puffer/internal/figures"
+	"puffer/internal/obscli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a single error return, so the
+// observability teardown always executes — log.Fatal would skip the
+// defers.
+func run() error {
 	fig := flag.String("fig", "1", "figure/section id to regenerate, or 'all'")
 	scale := flag.Int("scale", figures.DefaultScale, "primary experiment size in sessions")
 	seed := flag.Int64("seed", 1, "suite seed")
 	resultsPath := flag.String("results", "", "results index: scenario-backed figures (drift, fleet) read it and only launch missing cells, appending fresh records (empty: always run)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	var obsOpts obscli.Options
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	stopObs, err := obsOpts.Start(false, logf)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
 	suite, err := figures.NewSuite(*scale, *seed, logf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	suite.Results = *resultsPath
 
 	w := os.Stdout
-	run := func(id string) error {
+	runFig := func(id string) error {
 		switch id {
 		case "1":
 			_, err := suite.Fig1(w)
@@ -103,9 +121,10 @@ func main() {
 		ids = []string{"1", "2", "3", "4", "5", "7", "8", "9", "10", "11", "A1", "3.4", "4.6", "5.3", "drift", "fleet"}
 	}
 	for _, id := range ids {
-		if err := run(id); err != nil {
-			log.Fatalf("figure %s: %v", id, err)
+		if err := runFig(id); err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
 		}
 		fmt.Fprintln(w)
 	}
+	return nil
 }

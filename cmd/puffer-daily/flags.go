@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"puffer/internal/obscli"
 	"puffer/internal/scenario"
 )
 
@@ -21,6 +22,8 @@ type cliConfig struct {
 	workers    int
 	checkpoint string
 	quiet      bool
+	obs        obscli.Options
+	obsEvents  string
 }
 
 // parseCLI maps the command line onto a scenario spec. The base spec comes
@@ -53,6 +56,8 @@ func parseCLI(args []string) (*cliConfig, error) {
 	epochs := fs.Int("epochs", scenario.DefaultEpochs, "override: nightly training epochs (count)")
 	envName := fs.String("env", "insitu", "override: environment world, insitu or emulation")
 	fs.BoolVar(&cli.quiet, "q", false, "suppress progress logging")
+	cli.obs.Register(fs)
+	fs.StringVar(&cli.obsEvents, "obs-events", "", "append the structured run-progress event stream (JSONL) to this file (path; empty = off)")
 
 	drift := fs.String("drift", "none", "override: nonstationarity preset — none, decay, shift, or mix")
 	dRate := fs.Float64("drift-rate-factor", 0, "override: daily capacity factor (ratio/day; e.g. 0.9 = -10%/day; unset = preset)")

@@ -37,6 +37,7 @@ import (
 
 	"puffer/internal/experiment"
 	"puffer/internal/netem"
+	"puffer/internal/obs"
 	"puffer/internal/runner"
 	"puffer/internal/scenario"
 )
@@ -44,28 +45,34 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("puffer-daily: ")
-	cli, err := parseCLI(os.Args[1:])
-	if errors.Is(err, flag.ErrHelp) {
-		return
-	}
-	if err != nil {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a single error return, so the
+// observability teardown (profile stop, snapshot dump, endpoint close)
+// always executes — log.Fatal would skip the defers.
+func run(args []string) error {
+	cli, err := parseCLI(args)
+	if err != nil {
+		return err
 	}
 
 	if cli.list {
-		if err := scenario.WriteListings(os.Stdout, cli.jsonOut); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return scenario.WriteListings(os.Stdout, cli.jsonOut)
 	}
 
 	spec := cli.spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if cli.dump {
 		os.Stdout.Write(spec.CanonicalJSON())
-		return
+		return nil
 	}
 	spec = scenario.ScaleFromEnv(spec)
 
@@ -73,6 +80,20 @@ func main() {
 	if cli.quiet {
 		logf = func(string, ...any) {}
 	}
+
+	var events *obs.EventLog
+	if cli.obsEvents != "" {
+		if events, err = obs.OpenEventLog(cli.obsEvents); err != nil {
+			return err
+		}
+		defer events.Close()
+	}
+	stopObs, err := cli.obs.Start(events != nil, logf)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
 	if sched, err := spec.Schedule(); err == nil && !sched.IsZero() {
 		logf("drift schedule: %s", sched.Signature())
 	}
@@ -81,9 +102,10 @@ func main() {
 		Workers:       cli.workers,
 		CheckpointDir: cli.checkpoint,
 		Logf:          logf,
+		Events:        events,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	printRun(os.Stdout, runLabel(*out.Spec.Daily.Retrain), out.Result)
@@ -91,6 +113,7 @@ func main() {
 		printRun(os.Stdout, runLabel(false), out.Frozen)
 		printComparison(os.Stdout, out.Result, out.Frozen, &out.Schedule)
 	}
+	return nil
 }
 
 func runLabel(retrain bool) string {

@@ -28,6 +28,8 @@ import (
 	"log"
 	"os"
 
+	"puffer/internal/obs"
+	"puffer/internal/obscli"
 	"puffer/internal/results"
 	"puffer/internal/scenario"
 	"puffer/internal/sweep"
@@ -88,6 +90,9 @@ func cmdRun(args []string) error {
 	cellWorkers := fs.Int("cell-workers", 0, "shard workers inside each cell (0 = GOMAXPROCS); never changes results")
 	inprocess := fs.Bool("inprocess", false, "run cells in this process instead of subprocesses")
 	quiet := fs.Bool("q", false, "suppress progress logging")
+	eventsPath := fs.String("events", "", `per-cell lifecycle event log (JSONL) to append to (default: <index>.events; "none" = off)`)
+	var obsOpts obscli.Options
+	obsOpts.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +108,28 @@ func cmdRun(args []string) error {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+
+	// The event log rides next to the index by default, so `puffer-sweep
+	// status -events` can watch a live (or killed) sweep with no extra
+	// plumbing. Events alone do not turn metric recording on — only the
+	// explicit obs flags do.
+	evPath := *eventsPath
+	if evPath == "" {
+		evPath = *index + ".events"
+	}
+	var events *obs.EventLog
+	if evPath != "none" {
+		if events, err = obs.OpenEventLog(evPath); err != nil {
+			return err
+		}
+		defer events.Close()
+	}
+	stopObs, err := obsOpts.Start(false, logf)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
 	runner := sweep.InProcess(*cellWorkers, logf)
 	if !*inprocess {
 		runner = subprocessRunner(*cellWorkers, *quiet)
@@ -114,6 +141,7 @@ func cmdRun(args []string) error {
 		Run:            runner,
 		Transform:      scenario.ScaleFromEnv,
 		Logf:           logf,
+		Events:         events,
 	})
 	if rep != nil {
 		fmt.Printf("cells %d: ran %d, already indexed %d, skipped %d, failed %d\n",
@@ -126,6 +154,7 @@ func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("puffer-sweep status", flag.ContinueOnError)
 	sweepFile := fs.String("sweep", "", "sweep spec .json file (empty: list the registered scenarios instead)")
 	index := fs.String("index", "results/index.jsonl", "results index to check against")
+	eventsPath := fs.String("events", "", `event log to summarize for the live view (default: <index>.events; "none" = off)`)
 	jsonOut := fs.Bool("json", false, "emit JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,7 +194,35 @@ func cmdStatus(args []string) error {
 		fmt.Printf("%-8s %s (%s)\n", c.State, c.Name, c.Hash[:12])
 	}
 	fmt.Printf("%d/%d cells indexed in %s\n", indexed, len(cells), *index)
+	printLive(*eventsPath, *index)
 	return nil
+}
+
+// printLive adds the event-log view of a sweep in flight: which cells a
+// live (or killed) execution had started, and how far it got — read
+// straight off the append-only log, so it works while `run` holds the
+// index open.
+func printLive(eventsPath, index string) {
+	if eventsPath == "" {
+		eventsPath = index + ".events"
+	}
+	if eventsPath == "none" {
+		return
+	}
+	evs, err := obs.ReadEvents(eventsPath)
+	if err != nil || len(evs) == 0 {
+		return
+	}
+	lv := sweep.LiveFromEvents(evs)
+	state := "in flight"
+	if lv.Finished {
+		state = "finished"
+	}
+	fmt.Printf("event log %s: last execution %s (%d done, %d failed; last event %s)\n",
+		eventsPath, state, lv.Done, lv.Failed, lv.LastEvent.Local().Format("2006-01-02 15:04:05"))
+	for _, name := range lv.Running {
+		fmt.Printf("running  %s\n", name)
+	}
 }
 
 func cmdQuery(args []string) error {

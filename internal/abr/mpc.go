@@ -4,6 +4,16 @@ import (
 	"math"
 
 	"puffer/internal/media"
+	metrics "puffer/internal/obs"
+)
+
+// Controller stage timers (write-only; see the obs package contract).
+// predict covers the distribution fill (a staging no-op under a deferring
+// predictor — the NN time then lands in nn_packed_forward_ns instead);
+// plan covers the factored value iteration.
+var (
+	mpcPredictNS = metrics.Default.Histogram("abr_mpc_predict_ns")
+	mpcPlanNS    = metrics.Default.Histogram("abr_mpc_plan_ns")
 )
 
 // Predictor supplies the MPC engine with a probability distribution over the
@@ -125,7 +135,9 @@ func (m *MPC) PrepareChoose(obs *Observation) {
 		return
 	}
 	m.ensureScratch(obs.BufferCap, h, nQ)
+	t0 := metrics.Now()
 	m.fillDists(obs, h, nQ)
+	mpcPredictNS.ObserveSince(t0)
 }
 
 // FinishChoose implements DeferredAlgorithm: it runs the value iteration
@@ -134,7 +146,10 @@ func (m *MPC) FinishChoose(obs *Observation) int {
 	if m.pendH == 0 {
 		return 0
 	}
-	return m.plan(obs, m.pendH, m.pendNQ)
+	t0 := metrics.Now()
+	q := m.plan(obs, m.pendH, m.pendNQ)
+	mpcPlanNS.ObserveSince(t0)
+	return q
 }
 
 // fillDists computes each of the h*nQ transmission-time distributions

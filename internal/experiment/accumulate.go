@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"sort"
 
@@ -75,6 +77,45 @@ func (t *TrialAcc) scheme(name string) *SchemeAcc {
 		t.Schemes[name] = a
 	}
 	return a
+}
+
+// trialAccWire is the deterministic gob form of TrialAcc: the scheme
+// accumulators as a name-sorted slice. Encoding the Schemes map directly
+// would write it in Go's randomized map iteration order, making the
+// checkpointed acc.gob bytes vary run to run even for identical results.
+type trialAccWire struct {
+	Filter  AnalysisFilter
+	Schemes []SchemeAcc
+}
+
+// GobEncode implements gob.GobEncoder with byte-reproducible output:
+// encoding the same accumulator state always yields the same bytes, so
+// checkpoint trees can be compared with cmp/diff.
+func (t *TrialAcc) GobEncode() ([]byte, error) {
+	w := trialAccWire{Filter: t.Filter}
+	for _, name := range sortedSchemeNames(t.Schemes) {
+		w.Schemes = append(w.Schemes, *t.Schemes[name])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for the wire form above.
+func (t *TrialAcc) GobDecode(b []byte) error {
+	var w trialAccWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	t.Filter = w.Filter
+	t.Schemes = make(map[string]*SchemeAcc, len(w.Schemes))
+	for i := range w.Schemes {
+		a := w.Schemes[i]
+		t.Schemes[a.Name] = &a
+	}
+	return nil
 }
 
 // AddSession folds one session's streams into the accumulator, applying the

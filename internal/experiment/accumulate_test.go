@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"puffer/internal/stats"
+)
+
+// gobAcc is a small multi-scheme accumulator with every field populated,
+// so the wire form covers the whole struct.
+func gobAcc() *TrialAcc {
+	acc := NewTrialAcc(AllPaths)
+	for i, name := range []string{"Fugu", "BBA", "MPC-HM", "RobustMPC-HM", "Pensieve", "Fugu-Feb"} {
+		a := acc.scheme(name)
+		a.Sessions = i + 1
+		a.Streams = 2 * (i + 1)
+		a.Considered = i
+		a.Points.Add(stats.StreamPoint{Watch: float64(10 * (i + 1)), Stall: float64(i)})
+		a.SSIM.Add(14+float64(i), float64(10*(i+1)))
+		a.VarSum, a.VarN = float64(i), i
+	}
+	return acc
+}
+
+// TestTrialAccGobDeterministic: encoding the same accumulator state must
+// always produce the same bytes — checkpointed acc.gob files are part of
+// the byte-reproducibility contract, and a raw map encoding would order
+// schemes randomly per run.
+func TestTrialAccGobDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(gobAcc()); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("encoding %d differs from the first encoding", i)
+		}
+	}
+}
+
+func TestTrialAccGobRoundTrip(t *testing.T) {
+	acc := gobAcc()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(acc); err != nil {
+		t.Fatal(err)
+	}
+	got := NewTrialAcc(SlowPaths) // decode must overwrite the filter too
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(acc, got) {
+		t.Fatalf("round trip changed the accumulator:\nwant %s\ngot  %s",
+			fmt.Sprintf("%+v", acc), fmt.Sprintf("%+v", got))
+	}
+}

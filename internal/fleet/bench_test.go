@@ -8,6 +8,7 @@ import (
 
 	"puffer/internal/core"
 	"puffer/internal/experiment"
+	"puffer/internal/obs"
 )
 
 // coreDefaultTTP is the paper-shaped TTP (22-64-64-21 per horizon step).
@@ -76,6 +77,27 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
 		})
 		b.Run(benchLabel("fleet", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial := deployTrial(ttp, sessions, 77)
+				_, _, err := RunTrial(trial, Config{
+					ShardSize: shard, Workers: workers, Tick: 1,
+					Arrivals: PoissonArrivals{Rate: 4},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+		// Identical workload with metric recording on: the cost of the
+		// observability layer on the hot path (decision timers, batch
+		// histograms, packed-kernel timers). Compare sessions/sec against
+		// the plain fleet variant — the contract budgets <2% regression.
+		b.Run(benchLabel("fleet-obs", workers), func(b *testing.B) {
+			obs.SetEnabled(true)
+			defer obs.SetEnabled(false)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -10,8 +10,24 @@ import (
 	"puffer/internal/abr"
 	"puffer/internal/core"
 	"puffer/internal/experiment"
+	metrics "puffer/internal/obs"
 	"puffer/internal/telemetry"
 )
+
+// Registry names of the fleet metrics that wall-side consumers (the
+// runner's progress readout, the obs-smoke assertions) look up.
+const (
+	// MetricDecisionNS is the per-decision compute latency histogram: the
+	// prepare plus finish spans of one ABR decision, excluding the
+	// virtual-time park between them (wall time spent parked measures the
+	// scheduler, not the decision).
+	MetricDecisionNS = "fleet_decision_ns"
+	// MetricBatchRows is the per-net batch size histogram of the
+	// inference service.
+	MetricBatchRows = "fleet_batch_rows"
+)
+
+var decisionNS = metrics.Default.Histogram(MetricDecisionNS)
 
 // Config tunes the fleet engine. None of its fields change results — only
 // scheduling, batching, and the occupancy record — which is the engine's
@@ -147,12 +163,24 @@ func (s *session) Decide(alg abr.Algorithm, obs *abr.Observation, now float64) i
 	}
 	t := s.arrival + now
 	if s.deferred != nil {
+		t0 := metrics.Now()
 		s.deferred.PrepareChoose(obs)
+		prepare := metrics.SinceNS(t0)
 		s.park(t)
-		return s.deferred.FinishChoose(obs)
+		t1 := metrics.Now()
+		q := s.deferred.FinishChoose(obs)
+		if t1 != 0 {
+			decisionNS.Observe(prepare + metrics.SinceNS(t1))
+		}
+		return q
 	}
 	s.park(t)
-	return alg.Choose(obs)
+	t1 := metrics.Now()
+	q := alg.Choose(obs)
+	if t1 != 0 {
+		decisionNS.Observe(metrics.SinceNS(t1))
+	}
+	return q
 }
 
 // park suspends the session until the engine resumes it, releasing its

@@ -3,6 +3,19 @@ package fleet
 import (
 	"puffer/internal/core"
 	"puffer/internal/nn"
+	"puffer/internal/obs"
+)
+
+// Inference-service metrics (write-only; see the obs package contract).
+// The aggregate fields on InferenceService stay the deterministic record —
+// these duplicate them into the wall-side registry with timing added.
+var (
+	svcBatchRows      = obs.Default.Histogram("fleet_batch_rows")
+	svcFlushNS        = obs.Default.Histogram("fleet_flush_ns")
+	svcFlushesTotal   = obs.Default.Counter("fleet_flushes_total")
+	svcFlushesEmpty   = obs.Default.Counter("fleet_flushes_empty_total")
+	svcRowsTotal      = obs.Default.Counter("fleet_rows_total")
+	svcSnapshotsTotal = obs.Default.Counter("fleet_model_snapshots_total")
 )
 
 // InferenceService executes the staged prediction work of many concurrent
@@ -63,6 +76,7 @@ func (s *InferenceService) Enqueue(steps []core.PendingStep) {
 			s.groups[ps.Net] = g
 			s.order = append(s.order, g)
 			s.snapshots++
+			svcSnapshotsTotal.Inc()
 		}
 		g.pend = append(g.pend, ps)
 		g.rowSum += ps.Rows
@@ -72,6 +86,7 @@ func (s *InferenceService) Enqueue(steps []core.PendingStep) {
 // Flush executes one cross-session batch per net over everything staged
 // since the previous flush and completes every step's distributions.
 func (s *InferenceService) Flush() {
+	t0 := obs.Now()
 	any := false
 	for _, g := range s.order {
 		if g.rowSum == 0 {
@@ -98,11 +113,17 @@ func (s *InferenceService) Flush() {
 		if g.rowSum > s.maxBatch {
 			s.maxBatch = g.rowSum
 		}
+		svcBatchRows.Observe(int64(g.rowSum))
+		svcRowsTotal.Add(int64(g.rowSum))
 		g.pend = g.pend[:0]
 		g.rowSum = 0
 	}
 	if any {
 		s.flushes++
+		svcFlushesTotal.Inc()
+		svcFlushNS.ObserveSince(t0)
+	} else {
+		svcFlushesEmpty.Inc()
 	}
 }
 

@@ -1,6 +1,16 @@
 package nn
 
-import "fmt"
+import (
+	"fmt"
+
+	"puffer/internal/obs"
+)
+
+// Serving-kernel metrics (write-only; see the obs package contract).
+var (
+	packedForwardNS = obs.Default.Histogram("nn_packed_forward_ns")
+	packedRowsTotal = obs.Default.Counter("nn_packed_rows_total")
+)
 
 // PackedMLP is an immutable inference-time snapshot of an MLP, prepared for
 // high-throughput batched serving: each layer's weights are copied into a
@@ -101,6 +111,7 @@ func (p *PackedMLP) ForwardBatchInto(ws *BatchWorkspace, xs []float64, rows int)
 // PredictDistBatch runs a packed batched forward pass and softmaxes each row
 // of logits into dst, mirroring MLP.PredictDistBatch exactly.
 func (p *PackedMLP) PredictDistBatch(ws *BatchWorkspace, xs []float64, rows int, dst []float64) []float64 {
+	t0 := obs.Now()
 	logits := p.ForwardBatchInto(ws, xs, rows)
 	nOut := p.OutputSize()
 	if dst == nil {
@@ -112,6 +123,8 @@ func (p *PackedMLP) PredictDistBatch(ws *BatchWorkspace, xs []float64, rows int,
 	for r := 0; r < rows; r++ {
 		Softmax(dst[r*nOut:(r+1)*nOut], logits[r*nOut:(r+1)*nOut])
 	}
+	packedForwardNS.ObserveSince(t0)
+	packedRowsTotal.Add(int64(rows))
 	return dst
 }
 

@@ -1,0 +1,33 @@
+// Package obs is the platform's observability layer: atomic counters and
+// gauges, fixed-bucket log-scale latency histograms with mergeable
+// snapshots and p50/p99/p999 quantiles, named per-stage timers, a
+// structured JSONL run-event stream, and profiling hooks (runtime/pprof
+// plus an optional HTTP endpoint serving the registry snapshot and
+// net/http/pprof).
+//
+// Everything in this codebase lives by one constraint, and obs states it as
+// a contract the differential smokes enforce:
+//
+//   - Metrics are WRITE-ONLY from engine code. Engine code records into
+//     them and never reads one back into anything that shapes a result.
+//   - Metrics read the WALL CLOCK only, never virtual time, and never draw
+//     from an experiment RNG.
+//   - Metrics and events are EXCLUDED from checkpoints, manifests,
+//     results.CanonicalBytes, and every accumulator fingerprint.
+//
+// Consequently every byte-identity guarantee the engines make (workers 1
+// vs 8, kill-and-resume, fleet vs sequential, sweep relaunch) holds with
+// observability enabled, which TestObs*Identical prove by running the same
+// experiments obs-on and obs-off and comparing bytes.
+//
+// The only permitted readers of a metric are wall-side consumers: progress
+// logging (Logf), the Snapshot/WriteJSON/WritePrometheus dumps, and the
+// Serve HTTP endpoint. Nothing downstream of a read may feed a Result, a
+// checkpoint, an accumulator, or an RNG.
+//
+// Recording is gated by a process-global switch (SetEnabled); while
+// disabled — the default — every metric write is a single atomic load and
+// no clock is read, so uninstrumented-grade performance is the zero state
+// and instrumented hot paths stay within the <2% throughput budget when
+// enabled (see BenchmarkFleetThroughput's fleet-obs variant).
+package obs

@@ -1,0 +1,291 @@
+// Differential proof of the zero-perturbation contract: the same
+// experiments, metrics off vs metrics fully on (recording, event logs),
+// produce byte-identical results, models, telemetry, checkpoints, and
+// warehouse indexes. External test package so the real engines can be
+// driven without an import cycle.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+	"puffer/internal/obs"
+	"puffer/internal/results"
+	"puffer/internal/runner"
+	"puffer/internal/sweep"
+)
+
+// obsOn turns full recording on for one sub-run and restores the gate.
+func obsOn(t *testing.T, on bool) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(on)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+// perturbConfig is the runner testsuite's small-but-real continual
+// experiment (two days, nightly retraining, tiny nets).
+func perturbConfig(t *testing.T, seed int64, engine string, days int) runner.Config {
+	t.Helper()
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	return runner.Config{
+		Env:            experiment.DefaultEnv(),
+		Days:           days,
+		SessionsPerDay: 16,
+		WindowDays:     2,
+		ShardSize:      4,
+		Seed:           seed,
+		Engine:         engine,
+		Retrain:        true,
+		Hidden:         []int{8},
+		Horizon:        2,
+		Train:          tc,
+	}
+}
+
+// fingerprint reduces a Result to every byte the contract protects: the
+// per-day records (including the fleet serving record), pooled totals,
+// final model, and sliding-window telemetry.
+func fingerprint(t *testing.T, res *runner.Result) []byte {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Days  []runner.DayStats
+		Total []experiment.SchemeStats
+	}{res.Days, res.Total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var model, data bytes.Buffer
+	if res.TTP != nil {
+		if err := res.TTP.Save(&model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Data != nil {
+		if err := res.Data.Save(&data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return append(append(blob, model.Bytes()...), data.Bytes()...)
+}
+
+// eventLog opens a throwaway event log so the "on" runs exercise the full
+// emission path, not just the metric gate.
+func eventLog(t *testing.T) *obs.EventLog {
+	t.Helper()
+	l, err := obs.OpenEventLog(filepath.Join(t.TempDir(), "run.events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestZeroPerturbationEngines: on both execution engines, a run with
+// recording and events fully on is byte-identical to the same run with
+// everything off.
+func TestZeroPerturbationEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (tiny) experiments")
+	}
+	for _, engine := range []string{"session", "fleet"} {
+		t.Run(engine, func(t *testing.T) {
+			obsOn(t, false)
+			off, err := runner.Run(perturbConfig(t, 5, engine, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			obsOn(t, true)
+			cfg := perturbConfig(t, 5, engine, 2)
+			cfg.Events = eventLog(t)
+			on, err := runner.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(fingerprint(t, off), fingerprint(t, on)) {
+				t.Fatal("metrics+events changed the result bytes: zero-perturbation contract violated")
+			}
+		})
+	}
+}
+
+// TestZeroPerturbationResume: a kill-and-resume run with observability on
+// matches a straight run with it off — result bytes and every checkpoint
+// file byte-for-byte.
+func TestZeroPerturbationResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (tiny) experiments")
+	}
+	dir := t.TempDir()
+
+	obsOn(t, false)
+	straightCkpt := filepath.Join(dir, "straight")
+	cfg := perturbConfig(t, 9, "fleet", 3)
+	cfg.CheckpointDir = straightCkpt
+	straight, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsOn(t, true)
+	resumedCkpt := filepath.Join(dir, "resumed")
+	cfg = perturbConfig(t, 9, "fleet", 2) // the "kill": only 2 of 3 days
+	cfg.CheckpointDir = resumedCkpt
+	cfg.Events = eventLog(t)
+	if _, err := runner.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg = perturbConfig(t, 9, "fleet", 3) // the relaunch resumes day 2
+	cfg.CheckpointDir = resumedCkpt
+	cfg.Events = eventLog(t)
+	resumed, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(fingerprint(t, straight), fingerprint(t, resumed)) {
+		t.Fatal("obs-on resumed run differs from the obs-off straight run")
+	}
+	compareTrees(t, straightCkpt, resumedCkpt)
+}
+
+// compareTrees asserts two checkpoint directories hold identical files
+// with identical bytes.
+func compareTrees(t *testing.T, a, b string) {
+	t.Helper()
+	list := func(root string) map[string][]byte {
+		files := map[string][]byte{}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			files[rel] = blob
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return files
+	}
+	fa, fb := list(a), list(b)
+	if len(fa) != len(fb) {
+		t.Fatalf("checkpoint trees differ in file count: %d vs %d", len(fa), len(fb))
+	}
+	for rel, blob := range fa {
+		other, ok := fb[rel]
+		if !ok {
+			t.Fatalf("checkpoint file %s missing from the obs-on tree", rel)
+		}
+		if !bytes.Equal(blob, other) {
+			t.Fatalf("checkpoint file %s differs between obs-off and obs-on runs", rel)
+		}
+	}
+}
+
+// perturbSweep is the sweep testsuite's 2x2 grid over a tiny base.
+const perturbSweep = `{
+  "name": "t",
+  "base": {
+    "daily": {"days": 2, "sessions": 16, "window": 2, "ablation": false},
+    "model": {"hidden": [8], "horizon": 2},
+    "train": {"epochs": 1},
+    "shard_size": 4
+  },
+  "axes": [
+    {"field": "drift.preset", "values": ["none", "shift"]},
+    {"field": "seed", "values": [11, 12]}
+  ]
+}`
+
+// TestZeroPerturbationSweepRelaunch: a sweep killed partway and relaunched
+// with observability and event logging on produces an index whose
+// CanonicalBytes equal an uninterrupted obs-off sweep's.
+func TestZeroPerturbationSweepRelaunch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (tiny) sweeps")
+	}
+	dir := t.TempDir()
+	sw, err := sweep.Parse([]byte(perturbSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc := sweep.InProcess(0, nil)
+
+	obsOn(t, false)
+	refIndex := filepath.Join(dir, "ref.jsonl")
+	if _, err := sweep.Execute(sw, sweep.ExecConfig{
+		Workers:   2,
+		IndexPath: refIndex,
+		Run:       inproc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	obsOn(t, true)
+	onIndex := filepath.Join(dir, "on.jsonl")
+	calls := 0
+	killing := func(c sweep.Cell, checkpointDir string) (*results.Record, error) {
+		calls++
+		if calls == 3 {
+			return nil, errInjected
+		}
+		return inproc(c, checkpointDir)
+	}
+	rep, err := sweep.Execute(sw, sweep.ExecConfig{
+		Workers:        1, // keeps the injected kill at a deterministic cell
+		IndexPath:      onIndex,
+		CheckpointRoot: filepath.Join(dir, "on-ckpt"),
+		Run:            killing,
+		Events:         eventLog(t),
+	})
+	if err == nil {
+		t.Fatal("killed sweep must report the failure")
+	}
+	if rep.Ran != 2 {
+		t.Fatalf("killed sweep appended %d cells, want 2", rep.Ran)
+	}
+	if _, err := sweep.Execute(sw, sweep.ExecConfig{
+		Workers:        2,
+		IndexPath:      onIndex,
+		CheckpointRoot: filepath.Join(dir, "on-ckpt"),
+		Run:            inproc,
+		Events:         eventLog(t),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := results.Load(refIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := results.Load(onIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref.CanonicalBytes(), on.CanonicalBytes()) {
+		t.Fatal("obs-on relaunched sweep index differs from the obs-off uninterrupted one")
+	}
+}
+
+var errInjected = errInjectedType{}
+
+type errInjectedType struct{}
+
+func (errInjectedType) Error() string { return "injected kill" }

@@ -12,8 +12,17 @@ import (
 	"time"
 
 	"puffer/internal/experiment"
+	"puffer/internal/obs"
 	"puffer/internal/runner"
 	"puffer/internal/scenario"
+)
+
+// Warehouse metrics (write-only; see the obs package contract). Append
+// latency is dominated by the per-record fsync, which is the durability
+// cost worth watching on slow disks.
+var (
+	appendsTotal = obs.Default.Counter("results_appends_total")
+	appendNS     = obs.Default.Histogram("results_append_ns")
 )
 
 // Record is one finished experiment in the warehouse: the spec that ran
@@ -315,6 +324,7 @@ func repairTail(f *os.File) error {
 // then syncs, so a committed record survives the process dying immediately
 // after.
 func (w *Writer) Append(rec *Record) error {
+	t0 := obs.Now()
 	blob, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("results: encoding record: %w", err)
@@ -326,6 +336,8 @@ func (w *Writer) Append(rec *Record) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("results: syncing index: %w", err)
 	}
+	appendsTotal.Inc()
+	appendNS.ObserveSince(t0)
 	return nil
 }
 

@@ -6,11 +6,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"puffer/internal/abr"
 	"puffer/internal/core"
 	"puffer/internal/experiment"
 	"puffer/internal/fleet"
+	"puffer/internal/obs"
+)
+
+// Run-loop metrics (write-only; see the obs package contract). Wall-clock
+// only — never virtual time — and never checkpointed: DayStats carries the
+// deterministic record, these carry the operational one.
+var (
+	dayWallNS      = obs.Default.Histogram("runner_day_wall_ns")
+	retrainWallNS  = obs.Default.Histogram("runner_retrain_wall_ns")
+	daysTotal      = obs.Default.Counter("runner_days_total")
+	sessionsPerSec = obs.Default.Gauge("runner_sessions_per_sec")
 )
 
 // Config describes a continual experiment. Field comments state units and
@@ -90,6 +102,11 @@ type Config struct {
 	SpecJSON []byte
 	// Logf, if set, receives progress lines. Default (nil): silent.
 	Logf func(format string, args ...any)
+	// Events, if set, receives the structured run-progress stream
+	// (day_start/day_done with wall time and ETA, retrain_done). Strictly
+	// wall-side: nothing the runner computes reads an event back, and a
+	// nil log (the default) costs nothing. Default (nil): no events.
+	Events *obs.EventLog
 }
 
 // DayStats is one day's record: the trial aggregate plus the nightly phase.
@@ -291,7 +308,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	var wallSumNS int64
 	for day := start; day < cfg.Days; day++ {
+		cfg.Events.Emit("day_start", map[string]any{
+			"day": day, "sessions": cfg.SessionsPerDay, "days_total": cfg.Days,
+		})
+		t0 := obs.Now()
 		ds, acc, data, err := r.liveDay(day)
 		if err != nil {
 			return nil, err
@@ -302,6 +324,20 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		r.finishDay(ds, acc, data)
+		wall := obs.SinceNS(t0)
+		dayWallNS.Observe(wall)
+		daysTotal.Inc()
+		done := day - start + 1
+		fields := map[string]any{
+			"day": day, "chunks": ds.Chunks, "days_done": day + 1, "days_total": cfg.Days,
+		}
+		if wall > 0 {
+			wallSumNS += wall
+			fields["wall_s"] = float64(wall) / 1e9
+			fields["eta_s"] = float64(wallSumNS) / float64(done) * float64(cfg.Days-day-1) / 1e9
+			sessionsPerSec.Set(float64(cfg.SessionsPerDay) / (float64(wall) / 1e9))
+		}
+		cfg.Events.Emit("day_done", fields)
 	}
 
 	r.res.Total = r.pooled.Analyze(totalAnalysisSeed(cfg.Seed))
@@ -373,20 +409,34 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 		cfg.Logf("  fleet: peak %d concurrent (mean %.1f) over %.0fs virtual, %d flushes, mean batch %.0f rows, %.0f sessions/sec wall",
 			fst.PeakConcurrent, fst.MeanConcurrent, fst.HorizonSeconds,
 			fst.Flushes, fst.MeanBatchRows, fst.SessionsPerSec())
+		// Log-only registry read (a permitted wall-side consumer): the
+		// cumulative decision-latency quantiles across fleet days so far.
+		if obs.Enabled() {
+			if snap := obs.Default.Histogram(fleet.MetricDecisionNS).Snapshot(); snap.Count > 0 {
+				cfg.Logf("  obs: decision latency p50 %v p99 %v p999 %v over %d decisions (cumulative)",
+					time.Duration(snap.Quantile(0.5)), time.Duration(snap.Quantile(0.99)),
+					time.Duration(snap.Quantile(0.999)), snap.Count)
+			}
+		}
 	}
 
 	// Nightly phase: bootstrap-train on day 0, warm-start-retrain when
 	// continual retraining is on; the frozen ablation keeps serving the
 	// day-0 model.
 	if r.slot.Load() == nil || cfg.Retrain {
+		t0 := obs.Now()
 		tr, model, err := r.nightlyTrain(day, data)
 		if err != nil {
 			return DayStats{}, nil, nil, err
 		}
+		retrainWallNS.ObserveSince(t0)
 		ds.Retrained = true
 		ds.Loss, ds.Examples = tr.Loss, tr.Examples
 		r.slot.Store(model)
 		cfg.Logf("  nightly retrain: %d examples (step 0), final loss %.3f nats", tr.Examples[0], tr.Loss[0])
+		cfg.Events.Emit("retrain_done", map[string]any{
+			"day": day, "examples": tr.Examples[0], "loss": tr.Loss[0],
+		})
 	}
 	return ds, acc, data, nil
 }

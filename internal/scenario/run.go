@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 
 	"puffer/internal/netem"
+	"puffer/internal/obs"
 	"puffer/internal/runner"
 )
 
@@ -19,6 +20,11 @@ type RunOptions struct {
 	CheckpointDir string
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Events, if set, receives the structured run-progress stream: the
+	// scenario lifecycle plus the runner's per-day events, for both the
+	// main arm and the frozen ablation companion. Wall-side only — events
+	// never feed back into what the scenario computes.
+	Events *obs.EventLog
 }
 
 // Outcome is a finished scenario run.
@@ -54,8 +60,12 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 	}
 	cfg.Workers = opt.Workers
 	cfg.Logf = opt.Logf
+	cfg.Events = opt.Events
 	cfg.CheckpointDir = checkpointFor(opt.CheckpointDir, cfg.Retrain)
 
+	opt.Events.Emit("scenario_start", map[string]any{
+		"name": d.Name, "hash": d.Hash(), "days": cfg.Days, "sessions": cfg.SessionsPerDay,
+	})
 	out := &Outcome{Spec: d, Schedule: sched}
 	if out.Result, err = runner.Run(cfg); err != nil {
 		return nil, err
@@ -65,6 +75,7 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 		if opt.Logf != nil {
 			opt.Logf("running frozen-model ablation (same seed, no nightly retraining)...")
 		}
+		opt.Events.Emit("ablation_start", map[string]any{"name": d.Name, "hash": d.Hash()})
 		frozen := d
 		frozen.Daily.Retrain = ptr(false)
 		fcfg, err := Compile(frozen)
@@ -73,11 +84,13 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 		}
 		fcfg.Workers = opt.Workers
 		fcfg.Logf = opt.Logf
+		fcfg.Events = opt.Events
 		fcfg.CheckpointDir = frozenCheckpointDir(opt.CheckpointDir, frozen)
 		if out.Frozen, err = runner.Run(fcfg); err != nil {
 			return nil, err
 		}
 	}
+	opt.Events.Emit("scenario_done", map[string]any{"name": d.Name, "hash": d.Hash()})
 	return out, nil
 }
 

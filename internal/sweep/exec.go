@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"puffer/internal/obs"
 	"puffer/internal/results"
 	"puffer/internal/scenario"
 )
@@ -42,6 +43,11 @@ type ExecConfig struct {
 	Transform func(scenario.Spec) scenario.Spec
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Events, if set, receives the per-cell lifecycle stream
+	// (sweep_start, cell_start, cell_done, cell_failed, sweep_done) that
+	// `puffer-sweep status -events` summarizes live. Wall-side only —
+	// nothing a sweep computes ever reads an event back.
+	Events *obs.EventLog
 }
 
 // CellStatus is one cell's disposition after Execute (or in Status).
@@ -155,6 +161,9 @@ func Execute(sw Spec, ec ExecConfig) (*Report, error) {
 		return rep, nil
 	}
 	logf("running %d of %d cells (%d already indexed)", len(todo), len(cells), rep.Indexed)
+	ec.Events.Emit("sweep_start", map[string]any{
+		"cells": len(cells), "todo": len(todo), "indexed": rep.Indexed,
+	})
 
 	w, err := results.OpenWriter(ec.IndexPath)
 	if err != nil {
@@ -203,10 +212,21 @@ func Execute(sw Spec, ec ExecConfig) (*Report, error) {
 						results_ <- done{cell: c, err: errAborted}
 						continue
 					}
+					ec.Events.Emit("cell_start", map[string]any{
+						"cell": c.Name, "index": c.Index, "hash": c.Hash,
+					})
 					start := time.Now()
 					rec, err := ec.Run(c, CheckpointDir(ec.CheckpointRoot, c.GuardHash))
 					if err == nil {
 						logf("cell %s: done in %.1fs", c.Name, time.Since(start).Seconds())
+						ec.Events.Emit("cell_done", map[string]any{
+							"cell": c.Name, "index": c.Index, "hash": c.Hash,
+							"wall_s": time.Since(start).Seconds(),
+						})
+					} else if err != errAborted {
+						ec.Events.Emit("cell_failed", map[string]any{
+							"cell": c.Name, "index": c.Index, "hash": c.Hash, "error": err.Error(),
+						})
 					}
 					results_ <- done{cell: c, rec: rec, err: err}
 				}
@@ -256,6 +276,9 @@ func Execute(sw Spec, ec ExecConfig) (*Report, error) {
 		}
 	}
 	wg.Wait()
+	ec.Events.Emit("sweep_done", map[string]any{
+		"ran": rep.Ran, "failed": rep.Failed, "indexed": rep.Indexed,
+	})
 
 	if len(failed) > 0 {
 		first := -1
