@@ -26,7 +26,7 @@ BENCH_JSON ?= BENCH_7.json
 # timings worth committing.
 BENCH_TIME ?= 1x
 
-.PHONY: fmt fmt-check vet build test bench bench-json daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke ci
+.PHONY: fmt fmt-check vet build test bench bench-json daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke ci
 
 fmt:
 	gofmt -w .
@@ -166,4 +166,46 @@ obs-smoke:
 	jq -s -e '[.[] | select(.type=="day_done")] | length == 2' $$bin/run.events >/dev/null; \
 	echo "obs-smoke: obs-on run byte-identical to obs-off; endpoint and snapshots well-formed"
 
-ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke
+# Serving smoke: the wall-clock layer end to end on real binaries. A
+# daemon serves day 0 of the stationary scenario (scaled down via
+# PUFFER_SCENARIO_SCALE so the whole target stays well under a minute);
+# a paced load generator is SIGKILLed mid-run — client death must never
+# wound the daemon — then a fresh client runs the full trial and its
+# results table must be byte-identical to the -virtual twin (the same
+# plan on the deterministic virtual-time engine). The live metrics
+# endpoint is curled mid-run; SIGTERM must drain cleanly with zero
+# session-clock violations and a served decision-latency histogram.
+serve-smoke:
+	@set -e; \
+	bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin ./cmd/puffer-serve ./cmd/puffer-load; \
+	port=$$((20000 + $$$$ % 20000)); obsport=$$((port + 7)); \
+	common="-scenario stationary -day 0 -sessions 64"; \
+	PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-serve $$common \
+		-listen 127.0.0.1:$$port -obs-listen 127.0.0.1:$$obsport \
+		-drain-timeout 5s -q > $$bin/serve.out & pid=$$!; \
+	for i in $$(seq 1 500); do \
+		grep -q '^serving ' $$bin/serve.out 2>/dev/null && break; \
+		kill -0 $$pid 2>/dev/null || { echo "serve-smoke: daemon died"; exit 1; }; \
+		sleep 0.02; \
+	done; \
+	grep -q '^serving ' $$bin/serve.out || { echo "serve-smoke: no readiness line"; exit 1; }; \
+	PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-load $$common \
+		-addr 127.0.0.1:$$port -timescale 0.2 -q > /dev/null 2>&1 & lpid=$$!; \
+	sleep 1; kill -9 $$lpid 2>/dev/null || true; wait $$lpid 2>/dev/null || true; \
+	curl -sf http://127.0.0.1:$$obsport/metrics.json -o $$bin/live.json; \
+	jq -e '.counters | type=="array"' $$bin/live.json >/dev/null; \
+	PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-load $$common \
+		-addr 127.0.0.1:$$port -q > $$bin/served.out; \
+	PUFFER_SCENARIO_SCALE=$(SCENARIO_SCALE) $$bin/puffer-load $$common \
+		-virtual -q > $$bin/virtual.out; \
+	cmp $$bin/served.out $$bin/virtual.out; \
+	curl -sf http://127.0.0.1:$$obsport/metrics.json -o $$bin/final.json; \
+	jq -e '([.counters[] | select(.name=="serve_clock_violations_total") | .value] + [0]) | first == 0' $$bin/final.json >/dev/null; \
+	jq -e '[.counters[] | select(.name=="serve_decisions_total")] | first | .value > 0' $$bin/final.json >/dev/null; \
+	jq -e '[.histograms[] | select(.name=="serve_decision_ns")] | first | .count > 0' $$bin/final.json >/dev/null; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q '^drained:' $$bin/serve.out; \
+	echo "serve-smoke: served table byte-identical to the virtual twin; drain clean; zero clock violations"
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke

@@ -55,14 +55,34 @@ func run() error {
 	}
 	defer stopObs()
 
-	suite, err := figures.NewSuite(*scale, *seed, logf)
-	if err != nil {
-		return err
+	// The suite trains its TTPs up front, which dominates the command's
+	// runtime — so build it lazily, on the first figure that actually
+	// needs one. Static figures (the algorithm catalog) stay instant.
+	var suite *figures.Suite
+	getSuite := func() (*figures.Suite, error) {
+		if suite != nil {
+			return suite, nil
+		}
+		s, err := figures.NewSuite(*scale, *seed, logf)
+		if err != nil {
+			return nil, err
+		}
+		s.Results = *resultsPath
+		suite = s
+		return suite, nil
 	}
-	suite.Results = *resultsPath
 
 	w := os.Stdout
 	runFig := func(id string) error {
+		if id == "5" {
+			// Figure 5 is the static algorithm catalog: no experiment, no
+			// trained models.
+			return new(figures.Suite).Fig5(w)
+		}
+		suite, err := getSuite()
+		if err != nil {
+			return err
+		}
 		switch id {
 		case "1":
 			_, err := suite.Fig1(w)
@@ -76,8 +96,6 @@ func run() error {
 		case "4":
 			_, err := suite.Fig4(w)
 			return err
-		case "5":
-			return suite.Fig5(w)
 		case "7":
 			_, err := suite.Fig7(w)
 			return err

@@ -1,0 +1,150 @@
+// Command puffer-serve is the wall-clock serving daemon: it hosts one day
+// of one scenario behind real TCP sockets, speaking the serving layer's
+// length-prefixed protocol. On startup it warms the plan — for day > 0 that
+// replays the scenario's daily loop (trials, telemetry, nightly training)
+// so the served model is exactly the model the virtual-time engine would
+// deploy that day — then accepts one connection per streaming session and
+// batches every ABR decision through the shared inference service.
+//
+//	puffer-serve -scenario stationary -day 1 -listen 127.0.0.1:9977
+//	puffer-serve -day 0 -sessions 12000 -arrival-rate 40 -obs-listen 127.0.0.1:9090
+//
+// The readiness line ("serving <plan> on <addr>") goes to stdout once the
+// socket is open. SIGINT/SIGTERM drain gracefully: stop accepting, let
+// in-flight decisions finish, then print the drain summary and exit 0.
+// -rotate-every republishes the model on a timer (a bit-identical clone —
+// results never change) so the soak harness can prove that no session is
+// ever served by two model generations.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"puffer/internal/obscli"
+	"puffer/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("puffer-serve: ")
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("puffer-serve", flag.ContinueOnError)
+	var (
+		scenarioArg = fs.String("scenario", "stationary", "scenario to serve: a registered name or a spec .json file")
+		day         = fs.Int("day", 1, "deployment day of the scenario to serve (0 = bootstrap day, no model)")
+		listen      = fs.String("listen", "127.0.0.1:9977", "TCP address to serve sessions on")
+		sessions    = fs.Int("sessions", 0, "override the scenario's per-day session count (0 = spec value)")
+		arrivalRate = fs.Float64("arrival-rate", 0, "override the arrival process with poisson at this rate in sessions per virtual second (0 = spec value)")
+		maxBatch    = fs.Int("max-batch", 0, "max decision requests per inference flush (0 = default 256)")
+		queueDepth  = fs.Int("queue-depth", 0, "decision queue bound; a full queue blocks handlers (0 = default 1024)")
+		readTO      = fs.Duration("read-timeout", 0, "evict a connection idle longer than this (0 = default 120s)")
+		writeTO     = fs.Duration("write-timeout", 0, "per-reply write deadline (0 = default 30s)")
+		drainTO     = fs.Duration("drain-timeout", 0, "max wait for in-flight requests on shutdown (0 = default 10s)")
+		rotateEvery = fs.Duration("rotate-every", 0, "republish the model (bit-identical clone, new generation) on this period (0 = never)")
+		workers     = fs.Int("workers", 0, "warmup parallelism (0 = GOMAXPROCS)")
+		quiet       = fs.Bool("q", false, "suppress progress logging")
+	)
+	var obsOpts obscli.Options
+	obsOpts.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	spec, err := serve.ResolveSpec(*scenarioArg, *sessions, *arrivalRate)
+	if err != nil {
+		return err
+	}
+	plan, err := serve.NewPlan(spec, *day)
+	if err != nil {
+		return err
+	}
+
+	stopObs, err := obsOpts.Start(false, logf)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
+	logf("warming plan %s (%d sessions, %d schemes)", plan.Hash, plan.Sessions, len(plan.SchemeNames))
+	t0 := time.Now()
+	if err := plan.Warm(*workers, logf); err != nil {
+		return err
+	}
+	logf("warm in %.1fs", time.Since(t0).Seconds())
+
+	srv, err := serve.NewServer(serve.Config{
+		Plan:         plan,
+		MaxBatch:     *maxBatch,
+		QueueDepth:   *queueDepth,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		DrainTimeout: *drainTO,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// The handler must be installed before the readiness line goes out: a
+	// supervisor is allowed to SIGTERM the instant it reads it.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logf("%s: draining", s)
+		srv.Shutdown()
+		ln.Close() // covers a signal landing before Serve registered ln
+	}()
+
+	// Readiness line on stdout: the soak harness waits for it.
+	fmt.Printf("serving %s on %s\n", plan.Hash, ln.Addr())
+
+	if *rotateEvery > 0 {
+		tick := time.NewTicker(*rotateEvery)
+		defer tick.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					srv.Rotate()
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	if err := srv.Serve(ln); err != nil {
+		return err
+	}
+	nsess, completed, decisions := srv.Summary()
+	fmt.Printf("drained: %d sessions, %d completed, %d decisions\n", nsess, completed, decisions)
+	return nil
+}

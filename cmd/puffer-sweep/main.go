@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -194,15 +195,19 @@ func cmdStatus(args []string) error {
 		fmt.Printf("%-8s %s (%s)\n", c.State, c.Name, c.Hash[:12])
 	}
 	fmt.Printf("%d/%d cells indexed in %s\n", indexed, len(cells), *index)
-	printLive(*eventsPath, *index)
+	printLive(os.Stdout, *eventsPath, *index)
 	return nil
 }
 
 // printLive adds the event-log view of a sweep in flight: which cells a
 // live (or killed) execution had started, and how far it got — read
 // straight off the append-only log, so it works while `run` holds the
-// index open.
-func printLive(eventsPath, index string) {
+// index open. The sidecar is best-effort by design: an absent or empty log
+// just means no live view, a truncated final record (a killed writer)
+// yields the view up to the last whole record, and an unreadable log
+// degrades to the index-only view with a note — status never fails over
+// its sidecar.
+func printLive(w io.Writer, eventsPath, index string) {
 	if eventsPath == "" {
 		eventsPath = index + ".events"
 	}
@@ -210,7 +215,11 @@ func printLive(eventsPath, index string) {
 		return
 	}
 	evs, err := obs.ReadEvents(eventsPath)
-	if err != nil || len(evs) == 0 {
+	if err != nil {
+		fmt.Fprintf(w, "event log %s: unreadable (%v); showing index-only view\n", eventsPath, err)
+		return
+	}
+	if len(evs) == 0 {
 		return
 	}
 	lv := sweep.LiveFromEvents(evs)
@@ -218,10 +227,14 @@ func printLive(eventsPath, index string) {
 	if lv.Finished {
 		state = "finished"
 	}
-	fmt.Printf("event log %s: last execution %s (%d done, %d failed; last event %s)\n",
-		eventsPath, state, lv.Done, lv.Failed, lv.LastEvent.Local().Format("2006-01-02 15:04:05"))
+	last := "unknown"
+	if !lv.LastEvent.IsZero() {
+		last = lv.LastEvent.Local().Format("2006-01-02 15:04:05")
+	}
+	fmt.Fprintf(w, "event log %s: last execution %s (%d done, %d failed; last event %s)\n",
+		eventsPath, state, lv.Done, lv.Failed, last)
 	for _, name := range lv.Running {
-		fmt.Printf("running  %s\n", name)
+		fmt.Fprintf(w, "running  %s\n", name)
 	}
 }
 

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The status live view reads a best-effort sidecar that a killed or
+// concurrent writer can leave absent, truncated mid-record, or corrupted.
+// These pin the degradation contract: status never errors over its
+// sidecar, a truncated tail yields the view up to the last whole record,
+// and an unreadable log says so while the index-only view stands.
+
+func writeEvents(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.jsonl.events")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPrintLiveAbsentSidecar(t *testing.T) {
+	var out strings.Builder
+	printLive(&out, "", filepath.Join(t.TempDir(), "index.jsonl"))
+	if out.Len() != 0 {
+		t.Fatalf("absent sidecar should print nothing, got %q", out.String())
+	}
+}
+
+func TestPrintLiveTruncatedFinalRecord(t *testing.T) {
+	// A writer killed mid-append leaves a torn last line; everything before
+	// it must still render.
+	path := writeEvents(t,
+		`{"t":"2026-08-07T10:00:00Z","type":"sweep_start","todo":3}`,
+		`{"t":"2026-08-07T10:00:01Z","type":"cell_start","cell":"a"}`,
+		`{"t":"2026-08-07T10:00:02Z","type":"cell_done","cell":"a"}`,
+		`{"t":"2026-08-07T10:00:03Z","type":"cell_start","ce`)
+	var out strings.Builder
+	printLive(&out, path, "")
+	got := out.String()
+	if !strings.Contains(got, "last execution in flight (1 done, 0 failed") {
+		t.Fatalf("truncated tail lost the live view:\n%s", got)
+	}
+	if !strings.Contains(got, "2026-08-07") {
+		t.Fatalf("live view lost the last event time:\n%s", got)
+	}
+}
+
+func TestPrintLiveCorruptedMidRecord(t *testing.T) {
+	// Corruption in the middle (valid records after a torn one) is
+	// unreadable as a log; status must degrade visibly, not vanish or fail.
+	path := writeEvents(t,
+		`{"t":"2026-08-07T10:00:00Z","type":"sweep_start","todo":3}`,
+		`{"t":"2026-08-07T10:00:01Z","type":"cell_sta`,
+		`{"t":"2026-08-07T10:00:02Z","type":"cell_done","cell":"a"}`)
+	var out strings.Builder
+	printLive(&out, path, "")
+	got := out.String()
+	if !strings.Contains(got, "unreadable") || !strings.Contains(got, "index-only view") {
+		t.Fatalf("corrupted log did not degrade visibly:\n%s", got)
+	}
+}
+
+func TestPrintLiveNoTimestamps(t *testing.T) {
+	// Events without parseable times must not render the zero time.
+	path := writeEvents(t, `{"type":"cell_start","cell":"a"}`)
+	var out strings.Builder
+	printLive(&out, path, "")
+	got := out.String()
+	if strings.Contains(got, "0001-01-01") {
+		t.Fatalf("zero time leaked into the live view:\n%s", got)
+	}
+	if !strings.Contains(got, "last event unknown") {
+		t.Fatalf("missing timestamps should read as unknown:\n%s", got)
+	}
+}
+
+func TestStatusSurvivesSidecar(t *testing.T) {
+	// Full-command regression: status over a real sweep file with an
+	// absent and then a truncated sidecar must exit clean both times.
+	sweepFile := filepath.Join("..", "..", "scenarios", "sweeps", "smoke-grid.json")
+	if _, err := os.Stat(sweepFile); err != nil {
+		t.Skip("smoke-grid sweep spec not present")
+	}
+	dir := t.TempDir()
+	index := filepath.Join(dir, "index.jsonl")
+
+	if err := cmdStatus([]string{"-sweep", sweepFile, "-index", index}); err != nil {
+		t.Fatalf("status with absent sidecar: %v", err)
+	}
+
+	events := index + ".events"
+	if err := os.WriteFile(events, []byte(`{"t":"2026-08-07T10:00:00Z","type":"sweep_start","to`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStatus([]string{"-sweep", sweepFile, "-index", index}); err != nil {
+		t.Fatalf("status with truncated sidecar: %v", err)
+	}
+}

@@ -100,6 +100,12 @@ func (cfg *Config) RunOneHooked(id int, hook DecideHook) SessionResult {
 	return RunSessionHooked(&env, alg, rng, id, scheme.Name, cfg.Day, cfg.Recorder, hook)
 }
 
+// SessionSeed is the RNG seed of session `id` in a trial with this seed.
+// Exported so external drivers (the wall-clock load generator) can
+// reproduce a session's blinded arm assignment — the first Intn draw of
+// rand.New(rand.NewSource(SessionSeed(seed, id))) — without running it.
+func SessionSeed(seed, id int64) int64 { return mix(seed, id) }
+
 // mix hashes (seed, id) into an independent RNG seed (splitmix64 finalizer).
 func mix(seed, id int64) int64 {
 	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id) + 0x9E3779B97F4A7C15

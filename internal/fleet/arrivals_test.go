@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestArrivalScheduleDeterminism is the property the load generator leans
+// on: the arrival schedule of a (process, seed, n) triple is one immutable
+// value — bit-identical whatever GOMAXPROCS is and however many goroutines
+// derive it at once. The wall-clock client and the virtual-time engine each
+// compute it independently; any divergence would silently desynchronize
+// the two sides of the differential harness.
+func TestArrivalScheduleDeterminism(t *testing.T) {
+	procs := []ArrivalProcess{
+		PoissonArrivals{Rate: 0.5},
+		PoissonArrivals{Rate: 40},
+		PoissonArrivals{Rate: 0}, // degenerate: everyone at t=0
+		BurstArrivals{Burst: 7, Gap: 3.5},
+		BurstArrivals{Burst: 0, Gap: 1}, // degenerate: one burst
+	}
+	seeds := []int64{0, 1, -9, 1 << 40}
+	const n = 512
+
+	type key struct {
+		proc int
+		seed int64
+	}
+	want := map[key][]float64{}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, gmp := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(gmp)
+		// Hammer every (proc, seed) from many goroutines at once.
+		var wg sync.WaitGroup
+		got := make([][]float64, len(procs)*len(seeds)*4)
+		for i := range got {
+			i := i
+			pi, si := (i/4)%len(procs), (i/4)/len(procs)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got[i] = ArrivalTimes(procs[pi], seeds[si], n)
+			}()
+		}
+		wg.Wait()
+		for i, times := range got {
+			pi, si := (i/4)%len(procs), (i/4)/len(procs)
+			k := key{pi, seeds[si]}
+			if want[k] == nil {
+				if len(times) != n {
+					t.Fatalf("proc %d seed %d: %d times, want %d", pi, k.seed, len(times), n)
+				}
+				for j := 1; j < len(times); j++ {
+					if times[j] < times[j-1] {
+						t.Fatalf("proc %d seed %d: schedule not sorted at %d", pi, k.seed, j)
+					}
+				}
+				for j, v := range times {
+					if math.IsNaN(v) || v < 0 {
+						t.Fatalf("proc %d seed %d: bad arrival %v at %d", pi, k.seed, v, j)
+					}
+				}
+				want[k] = times
+				continue
+			}
+			for j := range times {
+				if times[j] != want[k][j] {
+					t.Fatalf("GOMAXPROCS=%d proc %d seed %d: arrival %d = %v, want %v",
+						gmp, pi, k.seed, j, times[j], want[k][j])
+				}
+			}
+		}
+	}
+}

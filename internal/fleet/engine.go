@@ -158,7 +158,7 @@ func (s *session) Decide(alg abr.Algorithm, obs *abr.Observation, now float64) i
 		s.alg = alg
 		if d, ok := alg.(abr.DeferredAlgorithm); ok {
 			s.deferred = d
-			s.dp = deferify(alg)
+			s.dp = Deferify(alg)
 		}
 	}
 	t := s.arrival + now
@@ -203,13 +203,15 @@ func (s *session) run() {
 	s.e.wg.Done()
 }
 
-// deferify rewires a freshly built per-session algorithm so its TTP-backed
+// Deferify rewires a freshly built per-session algorithm so its TTP-backed
 // predictor stages batched fills instead of running them: it unwraps
 // exploration layers, and when the MPC's predictor is the core TTP
 // predictor, swaps in a DeferredPredictor and returns it. Algorithms
 // without a TTP (BBA, the harmonic-mean MPCs) return nil and simply compute
-// at their decision points.
-func deferify(alg abr.Algorithm) *core.DeferredPredictor {
+// at their decision points. Exported because the wall-clock serving layer
+// performs the same rewiring on its per-connection algorithms before
+// batching their rows through an InferenceService.
+func Deferify(alg abr.Algorithm) *core.DeferredPredictor {
 	for {
 		switch a := alg.(type) {
 		case *abr.Explorer:

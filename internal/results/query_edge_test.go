@@ -1,0 +1,195 @@
+package results
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"puffer/internal/experiment"
+	"puffer/internal/stats"
+)
+
+// Edge-of-the-warehouse contracts: every query below either names its
+// expected error or pins the exact empty-result shape — nothing panics,
+// nothing silently invents rows.
+
+func emptyIndex(t *testing.T) *Index {
+	t.Helper()
+	ix, err := Load(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestQueryEmptyIndex(t *testing.T) {
+	ix := emptyIndex(t)
+
+	// Plain query: the default projection with zero rows.
+	table, err := ix.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 0 {
+		t.Fatalf("empty index produced %d rows", len(table.Rows))
+	}
+	if len(table.Cols) != 2 || table.Cols[0] != "name" || table.Cols[1] != "hash" {
+		t.Fatalf("default projection = %v, want [name hash]", table.Cols)
+	}
+
+	// Group-and-aggregate over nothing: the header row exists, the body is
+	// empty, and no error is invented.
+	table, err = ix.Query(Query{GroupBy: []string{"drift.preset"}, Agg: "mean", AggCol: "Fugu.stall_pct"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 0 {
+		t.Fatalf("aggregate over an empty index produced %d rows", len(table.Rows))
+	}
+	if want := []string{"drift.preset", "mean(Fugu.stall_pct)"}; strings.Join(table.Cols, ",") != strings.Join(want, ",") {
+		t.Fatalf("aggregate cols = %v, want %v", table.Cols, want)
+	}
+
+	// Per-day over nothing: same contract.
+	table, err = ix.Query(Query{PerDay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 0 {
+		t.Fatalf("per-day over an empty index produced %d rows", len(table.Rows))
+	}
+}
+
+func TestQueryMissingFieldPredicate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.jsonl")
+	with := fakeRecord(0)
+	with.Spec = json.RawMessage(`{"seed":0,"drift":{"preset":"shift","mix":"fcc"}}`)
+	without := fakeRecord(1)
+	without.Spec = json.RawMessage(`{"seed":1,"drift":{"preset":"shift"}}`)
+	appendAll(t, path, with, without)
+	ix, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A record that lacks the field never matches — equality...
+	table, err := ix.Query(Query{Where: []Pred{{Field: "drift.mix", Op: "=", Value: "fcc"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 || table.Rows[0][1] != with.Hash {
+		t.Fatalf("= on a partially-present field kept %v", table.Rows)
+	}
+
+	// ...and inequality alike: absence is not a value that differs.
+	table, err = ix.Query(Query{Where: []Pred{{Field: "drift.mix", Op: "!=", Value: "cs2p"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 || table.Rows[0][1] != with.Hash {
+		t.Fatalf("!= must still exclude records lacking the field, kept %v", table.Rows)
+	}
+
+	// A field no record has filters everything out, errorlessly.
+	table, err = ix.Query(Query{Where: []Pred{{Field: "no.such.field", Op: "!=", Value: "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 0 {
+		t.Fatalf("predicate on an unknown field kept %d rows", len(table.Rows))
+	}
+}
+
+func TestGroupByZeroRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.jsonl")
+	appendAll(t, path, fakeRecord(0), fakeRecord(1))
+	ix, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A filter that matches nothing feeding a group-by: empty body, stable
+	// header, no error.
+	table, err := ix.Query(Query{
+		Where:   []Pred{{Field: "seed", Op: ">", Value: "1000"}},
+		GroupBy: []string{"drift.preset"},
+		Agg:     "mean",
+		AggCol:  "Fugu.stall_pct",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 0 {
+		t.Fatalf("group-by over zero rows produced %d rows", len(table.Rows))
+	}
+
+	// Aggregating a column no kept row carries: the group exists (count of
+	// members), its aggregate cell is empty — absence, not zero.
+	table, err = ix.Query(Query{GroupBy: []string{"drift.preset"}, Agg: "mean", AggCol: "no.such.col"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 || table.Rows[0][1] != "" {
+		t.Fatalf("mean over an absent column = %v, want one group with an empty cell", table.Rows)
+	}
+
+	// Named error contracts.
+	if _, err := ix.Query(Query{GroupBy: []string{"name"}, Agg: "median", AggCol: "seed"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown aggregate") {
+		t.Fatalf("unknown aggregate error = %v", err)
+	}
+	if _, err := ix.Query(Query{GroupBy: []string{"name"}, Agg: "mean"}); err == nil ||
+		!strings.Contains(err.Error(), "needs a column") {
+		t.Fatalf("aggregate without column error = %v", err)
+	}
+}
+
+func TestPerDayWithoutFrozenArm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.jsonl")
+	// A run without the ablation (no frozen companion) records no gap
+	// table at all.
+	bare := &Record{
+		Hash: "hash-bare", GuardHash: "guard-bare", Name: "no-ablation",
+		Spec: json.RawMessage(`{"seed":3}`),
+		Outcome: Outcome{Total: []experiment.SchemeStats{{
+			Name: "Fugu", Considered: 5,
+			StallRatio: stats.Interval{Point: 0.01}, SSIM: stats.Interval{Point: 15},
+		}}},
+	}
+	withGaps := fakeRecord(1)
+	appendAll(t, path, bare, withGaps)
+	ix, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alone, the bare record yields the empty per-day result...
+	table, err := ix.Query(Query{PerDay: true, Where: []Pred{{Field: "hash", Op: "=", Value: "hash-bare"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 0 {
+		t.Fatalf("per-day over a gapless record produced %v", table.Rows)
+	}
+
+	// ...and mixed in, it contributes nothing while the ablated run's days
+	// all appear. fakeRecord writes two gap rows; a bootstrap day's row is
+	// Present=false and must survive the explosion too.
+	table, err = ix.Query(Query{PerDay: true, Cols: []string{"hash", "day", "present", "gap_pp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(withGaps.Outcome.Gaps) {
+		t.Fatalf("per-day rows = %d, want %d (bare record must add none)",
+			len(table.Rows), len(withGaps.Outcome.Gaps))
+	}
+	for _, row := range table.Rows {
+		if row[0] != withGaps.Hash {
+			t.Fatalf("per-day row from unexpected record: %v", row)
+		}
+	}
+	if table.Rows[0][2] != "true" {
+		t.Fatalf("present column lost: %v", table.Rows[0])
+	}
+}

@@ -553,3 +553,13 @@ func daySeed(seed int64, day int) int64         { return mix2(seed, int64(3*day+
 func trainSeed(seed int64, day int) int64       { return mix2(seed, int64(3*day+2)) }
 func dayAnalysisSeed(seed int64, day int) int64 { return mix2(seed, int64(3*day+3)) }
 func totalAnalysisSeed(seed int64) int64        { return mix2(seed, -2) }
+
+// DaySeed is the trial seed of day `day` of a run with this config seed —
+// exported so an external execution engine (the wall-clock serving layer)
+// can reproduce exactly the randomized trial the daily loop would run.
+func DaySeed(seed int64, day int) int64 { return daySeed(seed, day) }
+
+// DayAnalysisSeed is the bootstrap seed of day `day`'s per-arm analysis,
+// exported for the same reason as DaySeed: analyzing an externally-executed
+// trial with this seed reproduces the daily loop's stats byte for byte.
+func DayAnalysisSeed(seed int64, day int) int64 { return dayAnalysisSeed(seed, day) }

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"puffer/internal/abr"
+	"puffer/internal/media"
+)
+
+// ProtoVersion is the wire protocol version; the server rejects a Hello
+// carrying any other value. Bump it on any change to message layouts.
+const ProtoVersion = 1
+
+// Message types. One byte follows the length prefix of every frame.
+const (
+	msgHello    = 0x01 // client → server: open a session
+	msgHelloOK  = 0x02 // server → client: session accepted
+	msgDecide   = 0x03 // client → server: one ABR decision request
+	msgDecideOK = 0x04 // server → client: the chosen ladder rung
+	msgBye      = 0x05 // client → server: session finished cleanly
+	msgByeOK    = 0x06 // server → client: close acknowledged
+	msgError    = 0x07 // server → client: fatal protocol/plan error
+)
+
+// maxFrame bounds any frame's payload. A Decide carries at most
+// HistoryLen records plus a LookAhead horizon with a ~10-rung ladder —
+// a few kilobytes — so 1 MiB is a generous corruption guard.
+const maxFrame = 1 << 20
+
+// writeFrame emits one length-prefixed frame: u32 payload length (covering
+// the type byte), the type byte, and the payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame into buf (grown as needed), returning the type,
+// the payload, and the possibly-grown buffer for reuse.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload, next []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, buf, fmt.Errorf("serve: frame length %d out of range", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// Append-style encoders. Floats travel as IEEE-754 bits, so every value
+// round-trips bit-exactly — the byte-identity guarantee depends on it.
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendI32(b []byte, v int) []byte    { return appendU32(b, uint32(int32(v))) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+func appendStr(b []byte, s string) []byte {
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader decodes a payload sequentially; the first short read poisons it.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) u8() uint8 {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (r *reader) u16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+func (r *reader) u32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+func (r *reader) u64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+func (r *reader) i32() int     { return int(int32(r.u32())) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	v := r.take(n)
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// done returns the accumulated decode error, or complains about trailing
+// bytes — a frame must be consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes in frame", len(r.b))
+	}
+	return nil
+}
+
+// hello is the session-opening handshake. The plan hash pins the exact
+// (spec, day) identity on both ends; day, seed, and sessions are redundant
+// with it but make mismatch errors actionable.
+type hello struct {
+	Version  uint16
+	Day      int
+	Session  int
+	Seed     int64
+	Scheme   string
+	PlanHash string
+}
+
+func encodeHello(b []byte, h *hello) []byte {
+	b = appendU16(b, h.Version)
+	b = appendI32(b, h.Day)
+	b = appendI32(b, h.Session)
+	b = appendU64(b, uint64(h.Seed))
+	b = appendStr(b, h.Scheme)
+	return appendStr(b, h.PlanHash)
+}
+
+func decodeHello(payload []byte) (hello, error) {
+	r := reader{b: payload}
+	h := hello{
+		Version:  r.u16(),
+		Day:      r.i32(),
+		Session:  r.i32(),
+		Seed:     int64(r.u64()),
+		Scheme:   r.str(),
+		PlanHash: r.str(),
+	}
+	return h, r.done()
+}
+
+// encodeDecide serializes one decision request: the session's virtual
+// `now` plus the full abr.Observation (history, tcp_info snapshot, and the
+// materialized encoding horizon).
+func encodeDecide(b []byte, now float64, obs *abr.Observation) []byte {
+	b = appendF64(b, now)
+	b = appendI32(b, obs.ChunkIndex)
+	b = appendF64(b, obs.Buffer)
+	b = appendF64(b, obs.BufferCap)
+	b = appendI32(b, obs.LastQuality)
+	b = appendF64(b, obs.LastSSIM)
+	b = append(b, byte(len(obs.History)))
+	for _, h := range obs.History {
+		b = appendF64(b, h.Size)
+		b = appendF64(b, h.TransTime)
+		b = appendF64(b, h.SSIMdB)
+		b = appendI32(b, h.Quality)
+	}
+	b = appendF64(b, obs.TCP.CWND)
+	b = appendF64(b, obs.TCP.InFlight)
+	b = appendF64(b, obs.TCP.MinRTT)
+	b = appendF64(b, obs.TCP.RTT)
+	b = appendF64(b, obs.TCP.DeliveryRate)
+	b = append(b, byte(len(obs.Horizon)))
+	for _, c := range obs.Horizon {
+		b = appendI32(b, c.Index)
+		b = appendF64(b, c.Complexity)
+		b = append(b, byte(len(c.Versions)))
+		for _, v := range c.Versions {
+			b = appendF64(b, v.Size)
+			b = appendF64(b, v.SSIMdB)
+		}
+	}
+	return b
+}
+
+// decodeDecide fills obs from a Decide payload, reusing obs's History and
+// Horizon slices (one observation per session is live at a time, so the
+// buffers amortize to zero allocations in steady state).
+func decodeDecide(payload []byte, obs *abr.Observation) (now float64, err error) {
+	r := reader{b: payload}
+	now = r.f64()
+	obs.ChunkIndex = r.i32()
+	obs.Buffer = r.f64()
+	obs.BufferCap = r.f64()
+	obs.LastQuality = r.i32()
+	obs.LastSSIM = r.f64()
+	nh := int(r.u8())
+	obs.History = obs.History[:0]
+	for i := 0; i < nh && r.err == nil; i++ {
+		obs.History = append(obs.History, abr.ChunkRecord{
+			Size:      r.f64(),
+			TransTime: r.f64(),
+			SSIMdB:    r.f64(),
+			Quality:   r.i32(),
+		})
+	}
+	obs.TCP.CWND = r.f64()
+	obs.TCP.InFlight = r.f64()
+	obs.TCP.MinRTT = r.f64()
+	obs.TCP.RTT = r.f64()
+	obs.TCP.DeliveryRate = r.f64()
+	nc := int(r.u8())
+	if cap(obs.Horizon) < nc {
+		obs.Horizon = make([]media.Chunk, 0, nc)
+	}
+	obs.Horizon = obs.Horizon[:0]
+	for i := 0; i < nc && r.err == nil; i++ {
+		c := media.Chunk{Index: r.i32(), Complexity: r.f64()}
+		nv := int(r.u8())
+		if i < len(obs.Horizon[:cap(obs.Horizon)]) {
+			// Reuse the previous decode's Versions backing array.
+			c.Versions = obs.Horizon[:cap(obs.Horizon)][i].Versions[:0]
+		}
+		for v := 0; v < nv && r.err == nil; v++ {
+			c.Versions = append(c.Versions, media.Encoding{Size: r.f64(), SSIMdB: r.f64()})
+		}
+		obs.Horizon = append(obs.Horizon, c)
+	}
+	return now, r.done()
+}

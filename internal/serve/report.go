@@ -1,0 +1,24 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"puffer/internal/experiment"
+)
+
+// WriteStats prints one day's per-scheme pooled analysis. It is the shared
+// deterministic report of the serving layer: puffer-load prints it after a
+// remote run and after a -virtual run, and the differential smoke compares
+// the two outputs byte for byte — so the format depends only on the stats.
+func WriteStats(w io.Writer, day int, stats []experiment.SchemeStats) {
+	fmt.Fprintf(w, "Day %d per-scheme results\n", day)
+	fmt.Fprintf(w, "%-14s %8s %10s %22s %18s %10s\n",
+		"Arm", "Sessions", "Considered", "Stalled% [95% CI]", "SSIM dB [95% CI]", "WatchYears")
+	for _, r := range stats {
+		fmt.Fprintf(w, "%-14s %8d %10d %7.3f%% [%.3f, %.3f] %6.2f [%.2f, %.2f] %10.4f\n",
+			r.Name, r.Sessions, r.Considered,
+			100*r.StallRatio.Point, 100*r.StallRatio.Lo, 100*r.StallRatio.Hi,
+			r.SSIM.Point, r.SSIM.Lo, r.SSIM.Hi, r.WatchYears)
+	}
+}

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"puffer/internal/abr"
+	"puffer/internal/core"
+	"puffer/internal/fleet"
+	"puffer/internal/obs"
+)
+
+// Registry names of the serving-layer metrics. The daemon's /metrics
+// endpoint (obscli's -obs-listen) publishes them; the soak harness asserts
+// on them by name.
+const (
+	// MetricDecisionNS is the server-side decision compute latency
+	// (prepare + finish spans, excluding queue wait) — the wall-clock
+	// counterpart of fleet_decision_ns.
+	MetricDecisionNS = "serve_decision_ns"
+	// MetricRequestNS is the full server-side request latency: queue wait
+	// plus batching plus compute, enqueue to reply.
+	MetricRequestNS = "serve_request_ns"
+	// MetricBatchSessions is the per-flush batch size in decision requests
+	// (fleet_batch_rows, fed by the shared InferenceService, keeps the
+	// per-net row shape).
+	MetricBatchSessions = "serve_batch_sessions"
+	// MetricClockViolations counts Decide requests whose session clock ran
+	// backwards — an invariant the soak harness pins at zero.
+	MetricClockViolations = "serve_clock_violations_total"
+	// MetricQueueFull counts enqueues that found the decision queue full
+	// and had to block (backpressure engaging).
+	MetricQueueFull = "serve_queue_full_total"
+)
+
+var (
+	srvDecisionNS      = obs.Default.Histogram(MetricDecisionNS)
+	srvRequestNS       = obs.Default.Histogram(MetricRequestNS)
+	srvBatchSessions   = obs.Default.Histogram(MetricBatchSessions)
+	srvSessionsActive  = obs.Default.Gauge("serve_sessions_active")
+	srvSessionsTotal   = obs.Default.Counter("serve_sessions_total")
+	srvCompletedTotal  = obs.Default.Counter("serve_sessions_completed_total")
+	srvAbortedTotal    = obs.Default.Counter("serve_sessions_aborted_total")
+	srvDecisionsTotal  = obs.Default.Counter("serve_decisions_total")
+	srvClockViolations = obs.Default.Counter(MetricClockViolations)
+	srvQueueFull       = obs.Default.Counter(MetricQueueFull)
+	srvProtoErrors     = obs.Default.Counter("serve_proto_errors_total")
+	srvRotationsTotal  = obs.Default.Counter("serve_model_rotations_total")
+)
+
+// Config tunes the server. Like the fleet engine's Config, nothing here
+// changes results — only scheduling, batching, and protection limits.
+type Config struct {
+	// Plan is the warmed plan to serve (required; Warm must have run).
+	Plan *Plan
+	// MaxBatch caps decision requests per inference flush. Default: 256.
+	MaxBatch int
+	// QueueDepth bounds the decision queue; a full queue blocks connection
+	// handlers (backpressure propagates to the client via TCP). Default:
+	// 1024.
+	QueueDepth int
+	// ReadTimeout evicts a connection idle longer than this between
+	// frames; WriteTimeout bounds each reply write. Defaults: 120s, 30s.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Shutdown waits for in-flight requests
+	// before force-closing connections. Default: 10s.
+	DrainTimeout time.Duration
+	// Logf, if set, receives lifecycle lines. Default: silent.
+	Logf func(format string, args ...any)
+}
+
+// Server hosts one plan behind real sockets. One TCP connection is one
+// session: its ABR algorithm lives server-side for the connection's
+// lifetime and is destroyed with it, so a session is structurally bound to
+// the single model generation it was created under.
+type Server struct {
+	cfg  Config
+	plan *Plan
+
+	ln    net.Listener
+	queue chan *pending
+
+	mu      sync.Mutex // guards conns and the (slot, modelID) pair
+	conns   map[net.Conn]struct{}
+	modelID uint32
+
+	connWG      sync.WaitGroup
+	batcherDone chan struct{}
+	draining    atomic.Bool
+	closed      atomic.Bool
+
+	// Deterministic aggregates for the drain summary.
+	sessions  atomic.Uint64
+	completed atomic.Uint64
+	decisions atomic.Uint64
+	active    atomic.Int64
+}
+
+// session is one connection's server-side state. All algorithm calls
+// happen on the batcher goroutine; the connection handler only decodes
+// requests and writes replies, synchronized through the reply channel.
+type session struct {
+	id       int
+	scheme   string
+	alg      abr.Algorithm
+	deferred abr.DeferredAlgorithm
+	dp       *core.DeferredPredictor
+	modelID  uint32
+
+	obs       abr.Observation
+	lastNow   float64
+	started   bool
+	decisions uint64
+	reply     chan int
+}
+
+// pending is one decision request in flight between a connection handler
+// and the batcher.
+type pending struct {
+	sess   *session
+	now    float64
+	enq    int64 // obs.Now at enqueue
+	prepNS int64
+}
+
+// NewServer builds a server around a warmed plan.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Plan == nil || cfg.Plan.Schemes == nil {
+		return nil, fmt.Errorf("serve: Config.Plan must be a warmed plan")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 120 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:         cfg,
+		plan:        cfg.Plan,
+		queue:       make(chan *pending, cfg.QueueDepth),
+		conns:       make(map[net.Conn]struct{}),
+		batcherDone: make(chan struct{}),
+		modelID:     1,
+	}
+	go s.batcher()
+	return s, nil
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Rotate atomically publishes a fresh clone of the served model and bumps
+// the model generation. In-flight sessions keep the algorithm (and model)
+// they were created with; only sessions opened after Rotate see the new
+// generation — the paper's nightly rotation contract. Cloning preserves
+// weights bit for bit, so rotation never changes results; it exists so the
+// soak harness can prove the "no session served by two models" invariant
+// under churn. No-op before a model exists (day 0).
+func (s *Server) Rotate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.plan.Slot.Load()
+	if cur == nil {
+		return
+	}
+	s.plan.Slot.Store(cur.Clone())
+	s.modelID++
+	srvRotationsTotal.Inc()
+	s.cfg.Logf("serve: rotated model (generation %d)", s.modelID)
+}
+
+// Shutdown drains and stops the server: stop accepting, kick parked
+// readers so handlers finish their in-flight request and exit, then stop
+// the batcher. Safe to call more than once.
+func (s *Server) Shutdown() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		// Wake handlers parked between frames; in-flight decisions still
+		// complete (the deadline only fails the *next* read).
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.cfg.Logf("serve: drain timeout after %s; force-closing connections", s.cfg.DrainTimeout)
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	close(s.queue)
+	<-s.batcherDone
+	s.cfg.Logf("serve: drained (%d sessions, %d completed, %d decisions)",
+		s.sessions.Load(), s.completed.Load(), s.decisions.Load())
+}
+
+// Summary reports the server's deterministic aggregates.
+func (s *Server) Summary() (sessions, completed, decisions uint64) {
+	return s.sessions.Load(), s.completed.Load(), s.decisions.Load()
+}
+
+// handle runs one connection: handshake, then a decide loop until Bye,
+// error, or drain.
+func (s *Server) handle(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 16<<10)
+	bw := bufio.NewWriterSize(c, 4<<10)
+	var buf, out []byte
+
+	fail := func(msg string) {
+		srvProtoErrors.Inc()
+		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		writeFrame(bw, msgError, appendStr(out[:0], msg))
+		bw.Flush()
+	}
+
+	// Handshake.
+	c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	typ, payload, buf, err := readFrame(br, buf)
+	if err != nil {
+		return
+	}
+	if typ != msgHello {
+		fail("expected Hello")
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		fail(fmt.Sprintf("bad Hello: %v", err))
+		return
+	}
+	if h.Version != ProtoVersion {
+		fail(fmt.Sprintf("protocol version %d, server speaks %d", h.Version, ProtoVersion))
+		return
+	}
+	if h.PlanHash != s.plan.Hash {
+		fail(fmt.Sprintf("plan mismatch: client %s, server %s", h.PlanHash, s.plan.Hash))
+		return
+	}
+	scheme, ok := s.plan.Scheme(h.Scheme)
+	if !ok {
+		fail(fmt.Sprintf("unknown scheme %q for day %d", h.Scheme, h.Day))
+		return
+	}
+
+	// Bind the session to the current model generation: the factory reads
+	// the slot and the generation is recorded under the same lock Rotate
+	// takes, so the pair can never tear.
+	sess := &session{id: h.Session, scheme: h.Scheme, reply: make(chan int, 1)}
+	s.mu.Lock()
+	sess.alg = scheme.New()
+	sess.modelID = s.modelID
+	s.mu.Unlock()
+	if d, ok := sess.alg.(abr.DeferredAlgorithm); ok {
+		sess.deferred = d
+		sess.dp = fleet.Deferify(sess.alg)
+	}
+	s.sessions.Add(1)
+	srvSessionsTotal.Inc()
+	srvSessionsActive.Set(float64(s.active.Add(1)))
+	defer func() { srvSessionsActive.Set(float64(s.active.Add(-1))) }()
+
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := writeFrame(bw, msgHelloOK, appendU32(out[:0], sess.modelID)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	// Decide loop.
+	for {
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		typ, payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			if !s.draining.Load() {
+				srvAbortedTotal.Inc()
+			}
+			return
+		}
+		switch typ {
+		case msgDecide:
+			now, err := decodeDecide(payload, &sess.obs)
+			if err != nil {
+				fail(fmt.Sprintf("bad Decide: %v", err))
+				srvAbortedTotal.Inc()
+				return
+			}
+			p := &pending{sess: sess, now: now, enq: obs.Now()}
+			select {
+			case s.queue <- p:
+			default:
+				srvQueueFull.Inc()
+				s.queue <- p
+			}
+			q := <-sess.reply
+			s.decisions.Add(1)
+			out = appendU32(appendI32(out[:0], q), sess.modelID)
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := writeFrame(bw, msgDecideOK, out); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case msgBye:
+			s.completed.Add(1)
+			srvCompletedTotal.Inc()
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			writeFrame(bw, msgByeOK, appendU64(out[:0], sess.decisions))
+			bw.Flush()
+			return
+		default:
+			fail(fmt.Sprintf("unexpected message type 0x%02x", typ))
+			srvAbortedTotal.Inc()
+			return
+		}
+	}
+}
+
+// batcher is the server's single decision thread: it drains the queue in
+// greedy batches, stages every deferrable prediction into the shared
+// InferenceService, runs one batched flush per model, and completes each
+// decision — the wall-clock mirror of the fleet engine's tick loop. Owning
+// every algorithm and the service on one goroutine is what makes the
+// not-concurrency-safe InferenceService safe here.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	svc := fleet.NewInferenceService()
+	batch := make([]*pending, 0, s.cfg.MaxBatch)
+	for p := range s.queue {
+		batch = append(batch[:0], p)
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case p2, ok := <-s.queue:
+				if !ok {
+					break
+				}
+				batch = append(batch, p2)
+				continue
+			default:
+			}
+			break
+		}
+
+		// Stage phase: per-stream reset, PrepareChoose, enqueue rows.
+		for _, p := range batch {
+			sess := p.sess
+			if sess.started && p.now < sess.lastNow {
+				srvClockViolations.Inc()
+			}
+			sess.started = true
+			sess.lastNow = p.now
+			t0 := obs.Now()
+			if sess.obs.ChunkIndex == 0 {
+				// Stream start: runStream resets per-stream algorithm
+				// state before its first decision; resets are idempotent
+				// and never touch exploration RNGs, so this reproduces
+				// the inline path exactly.
+				sess.alg.Reset()
+			}
+			if sess.deferred != nil {
+				sess.deferred.PrepareChoose(&sess.obs)
+				if sess.dp != nil {
+					svc.Enqueue(sess.dp.Pending())
+				}
+			}
+			p.prepNS = obs.SinceNS(t0)
+		}
+
+		// One batched forward pass per distinct model.
+		svc.Flush()
+		srvBatchSessions.Observe(int64(len(batch)))
+
+		// Finish phase: complete every decision and reply.
+		for _, p := range batch {
+			sess := p.sess
+			t1 := obs.Now()
+			var q int
+			if sess.deferred != nil {
+				q = sess.deferred.FinishChoose(&sess.obs)
+			} else {
+				q = sess.alg.Choose(&sess.obs)
+			}
+			if sess.dp != nil {
+				sess.dp.Clear()
+			}
+			if t1 != 0 {
+				srvDecisionNS.Observe(p.prepNS + obs.SinceNS(t1))
+				srvRequestNS.Observe(obs.SinceNS(p.enq))
+			}
+			sess.decisions++
+			srvDecisionsTotal.Inc()
+			sess.reply <- q
+		}
+	}
+}
