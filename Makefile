@@ -21,12 +21,12 @@ SCENARIO_SCALE ?= 0.02
 SWEEP_DIR ?= /tmp/puffer-sweep-smoke
 
 # Output file for the machine-readable benchmark run (cmd/benchjson).
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
 # Benchtime for bench-json: 1x is smoke speed; raise (e.g. 5x, 1s) for
 # timings worth committing.
 BENCH_TIME ?= 1x
 
-.PHONY: fmt fmt-check vet build test bench bench-json daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke ci
+.PHONY: fmt fmt-check vet build test bench bench-json bench-diff daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke trace-smoke ci
 
 fmt:
 	gofmt -w .
@@ -129,6 +129,17 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) $$tmp/bench.txt; \
 	echo "wrote $(BENCH_JSON)"
 
+# Advisory benchmark regression check: re-run the suite at smoke speed and
+# diff against the committed $(BENCH_JSON). Never a gate — 1x timings are
+# too noisy to block a merge on — the report is a reviewer aid.
+bench-diff:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PUFFER_BENCH_SESSIONS=$(BENCH_SESSIONS) $(GO) test -run=NoTests -bench=. \
+		-benchtime=$(BENCH_TIME) -benchmem ./... > $$tmp/bench.txt; \
+	$(GO) run ./cmd/benchjson -o $$tmp/new.json $$tmp/bench.txt; \
+	$(GO) run ./cmd/benchjson -diff $(BENCH_JSON) $$tmp/new.json
+
 # Observability smoke: the zero-perturbation contract end to end on real
 # binaries. The same 2-day fleet scenario runs twice — observability off,
 # then fully on (live endpoint + exit dump + event log) with the snapshot
@@ -208,4 +219,27 @@ serve-smoke:
 	grep -q '^drained:' $$bin/serve.out; \
 	echo "serve-smoke: served table byte-identical to the virtual twin; drain clean; zero clock violations"
 
-ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke
+# Tracing smoke: decision-level tracing end to end on a real binary. The
+# same 2-day fleet scenario runs untraced, then with every decision traced
+# to a Chrome trace file — stdout must be byte-identical (tracing is
+# wall-side only), and the trace must be well-formed trace-event JSON
+# (Perfetto-loadable) carrying the decision-path span taxonomy.
+trace-smoke:
+	@set -e; \
+	bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin/puffer-daily ./cmd/puffer-daily; \
+	flags="-days 2 -sessions 48 -window 2 -epochs 1 -seed 7 -engine fleet -arrival-rate 4 -ablation=false"; \
+	$$bin/puffer-daily $$flags -q > $$bin/off.out; \
+	$$bin/puffer-daily $$flags -trace-out $$bin/trace.json -q > $$bin/on.out; \
+	cmp $$bin/off.out $$bin/on.out; \
+	jq -e '.displayTimeUnit == "ms"' $$bin/trace.json >/dev/null; \
+	jq -e '[.traceEvents[] | select(.ph=="X")] | length > 0' $$bin/trace.json >/dev/null; \
+	jq -e '[.traceEvents[] | select(.ph=="X")] | all(.ts >= 0 and .dur >= 0 and (.name|type=="string") and (.pid|type=="number") and (.tid|type=="number"))' $$bin/trace.json >/dev/null; \
+	names=$$(jq -r '[.traceEvents[] | select(.ph=="X") | .name] | unique | join(" ")' $$bin/trace.json); \
+	for want in fleet_decision batch_residency infer_flush kernel day trial retrain; do \
+		case " $$names " in *" $$want "*) ;; *) echo "trace-smoke: missing $$want span (got: $$names)"; exit 1;; esac; \
+	done; \
+	jq -e '[.traceEvents[] | select(.ph=="M" and .name=="process_name")] | length > 0' $$bin/trace.json >/dev/null; \
+	echo "trace-smoke: traced run byte-identical to untraced; Chrome trace well-formed ($$names)"
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke trace-smoke

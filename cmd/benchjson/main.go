@@ -4,6 +4,7 @@
 //
 //	go test -run=NoTests -bench=. -benchmem ./... | benchjson -o BENCH.json
 //	benchjson bench.txt          # read a saved run instead of stdin
+//	benchjson -diff old.json new.json   # advisory regression report
 //
 // Each benchmark line becomes one record with the standard columns
 // (iterations, ns/op, B/op, allocs/op) plus every custom b.ReportMetric
@@ -11,6 +12,11 @@
 // the sessions/sec metrics from BenchmarkFleetThroughput — are also lifted
 // into a top-level summary map, since they are the numbers the
 // observability contract budgets regressions against.
+//
+// -diff compares two emitted documents benchmark by benchmark, marking
+// ns/op swings past ±10% and reporting the fleet sessions/sec deltas. The
+// report is advisory: it always exits 0, because smoke-speed (1x) timings
+// are too noisy to gate a merge on — the diff is a reviewer aid.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -50,7 +57,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output file (empty = stdout)")
+	diff := flag.Bool("diff", false, "compare two benchmark JSON files (old new); advisory, always exits 0")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("-diff needs exactly two arguments: old.json new.json")
+		}
+		oldDoc, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		newDoc, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeDiff(os.Stdout, oldDoc, newDoc)
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 1 {
@@ -81,6 +105,104 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// loadDoc reads a previously emitted benchmark document.
+func loadDoc(path string) (*Doc, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// diffThresholdPct is the ns/op swing past which a row gets a slower/faster
+// marker. The report stays advisory either way: smoke timings are noisy.
+const diffThresholdPct = 10.0
+
+// writeDiff prints the benchmark-by-benchmark comparison of two documents.
+// Benchmarks are matched on (pkg, name); procs is ignored so runs from
+// machines with different core counts still line up.
+func writeDiff(w io.Writer, oldDoc, newDoc *Doc) {
+	key := func(b Bench) string { return b.Pkg + " " + b.Name }
+	old := map[string]Bench{}
+	for _, b := range oldDoc.Benchmarks {
+		old[key(b)] = b
+	}
+
+	var slower, faster, added int
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := old[key(nb)]
+		if !ok {
+			added++
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delete(old, key(nb))
+		pct := 0.0
+		if ob.NsPerOp > 0 {
+			pct = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		mark := ""
+		switch {
+		case pct >= diffThresholdPct:
+			mark = "  slower"
+			slower++
+		case pct <= -diffThresholdPct:
+			mark = "  faster"
+			faster++
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, pct, mark)
+	}
+	vanished := make([]string, 0, len(old))
+	for k := range old {
+		vanished = append(vanished, old[k].Name)
+	}
+	sort.Strings(vanished)
+	for _, name := range vanished {
+		fmt.Fprintf(w, "%-52s %14s %14s %9s\n", name, "-", "-", "gone")
+	}
+
+	// The headline numbers: fleet sessions/sec, higher is better.
+	subs := map[string]bool{}
+	for sub := range oldDoc.FleetSessionsPerSec {
+		subs[sub] = true
+	}
+	for sub := range newDoc.FleetSessionsPerSec {
+		subs[sub] = true
+	}
+	if len(subs) > 0 {
+		names := make([]string, 0, len(subs))
+		for sub := range subs {
+			names = append(names, sub)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "\nfleet sessions/sec (higher is better)\n")
+		for _, sub := range names {
+			ov, oldOK := oldDoc.FleetSessionsPerSec[sub]
+			nv, newOK := newDoc.FleetSessionsPerSec[sub]
+			switch {
+			case oldOK && newOK:
+				pct := 0.0
+				if ov > 0 {
+					pct = 100 * (nv - ov) / ov
+				}
+				fmt.Fprintf(w, "  %-24s %10.1f -> %10.1f %+8.1f%%\n", sub, ov, nv, pct)
+			case newOK:
+				fmt.Fprintf(w, "  %-24s %10s -> %10.1f      new\n", sub, "-", nv)
+			default:
+				fmt.Fprintf(w, "  %-24s %10.1f -> %10s     gone\n", sub, ov, "-")
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\nadvisory: %d slower, %d faster (threshold ±%.0f%% ns/op), %d new, %d gone — not a gate\n",
+		slower, faster, diffThresholdPct, added, len(vanished))
 }
 
 // parse folds a `go test -bench` text stream into a Doc. Lines that are

@@ -56,3 +56,47 @@ func TestParseRejectsEmpty(t *testing.T) {
 		t.Fatal("want an error for input with no benchmark lines")
 	}
 }
+
+func TestWriteDiff(t *testing.T) {
+	oldDoc := &Doc{
+		Benchmarks: []Bench{
+			{Pkg: "p", Name: "Same", NsPerOp: 1000},
+			{Pkg: "p", Name: "Slower", NsPerOp: 1000},
+			{Pkg: "p", Name: "Faster", NsPerOp: 1000},
+			{Pkg: "p", Name: "Gone", NsPerOp: 50},
+		},
+		FleetSessionsPerSec: map[string]float64{"fleet/w1": 500},
+	}
+	newDoc := &Doc{
+		Benchmarks: []Bench{
+			{Pkg: "p", Name: "Same", NsPerOp: 1040},
+			{Pkg: "p", Name: "Slower", NsPerOp: 1300},
+			{Pkg: "p", Name: "Faster", NsPerOp: 700},
+			{Pkg: "p", Name: "New", NsPerOp: 9},
+		},
+		FleetSessionsPerSec: map[string]float64{"fleet/w1": 550},
+	}
+	var b strings.Builder
+	writeDiff(&b, oldDoc, newDoc)
+	out := b.String()
+	for _, want := range []string{
+		"Slower", "+30.0%  slower",
+		"Faster", "-30.0%  faster",
+		"New", "new",
+		"Gone", "gone",
+		"fleet sessions/sec",
+		"500.0 ->      550.0",
+		"advisory: 1 slower, 1 faster",
+		"not a gate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff report missing %q:\n%s", want, out)
+		}
+	}
+	// The ±10% threshold leaves small swings unmarked.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Same") && (strings.Contains(line, "slower") || strings.Contains(line, "faster")) {
+			t.Fatalf("+4%% swing marked: %q", line)
+		}
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"puffer/internal/obs"
 	"puffer/internal/obscli"
 	"puffer/internal/serve"
 )
@@ -78,6 +80,15 @@ func run(args []string) error {
 	}
 	defer stopObs()
 
+	// The wire-RTT summary is sourced from client-side spans, so a load run
+	// without explicit trace flags still installs a local tracer (every
+	// session sampled). Span recording is wall-side only: the results table
+	// on stdout stays byte-identical either way.
+	if !*virtual && !obsOpts.Tracing() {
+		obs.SetEnabled(true)
+		obs.SetTracer(obs.NewTracer(1, 0))
+	}
+
 	if *virtual {
 		logf("warming plan %s for the virtual twin", plan.Hash)
 		if err := plan.Warm(*workers, logf); err != nil {
@@ -107,6 +118,12 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr,
 		"puffer-load: %d sessions (%d failed), %d decisions, peak %d concurrent, %.1fs wall, %.1f sessions/s\n",
 		res.Sessions, res.Failed, res.Decisions, res.PeakConcurrent, res.WallSeconds, res.SessionsPerSec())
+	if tr := obs.Tracing(); tr != nil {
+		if n, qs := obs.TraceQuantiles(tr.Snapshot(), "wire_rtt", []float64{0.5, 0.99, 0.999}); n > 0 {
+			fmt.Fprintf(os.Stderr, "puffer-load: wire RTT p50 %v p99 %v p999 %v over %d traced decisions\n",
+				time.Duration(qs[0]), time.Duration(qs[1]), time.Duration(qs[2]), n)
+		}
+	}
 	if res.Failed > 0 || res.ModelViolations > 0 {
 		return fmt.Errorf("%d sessions failed, %d model violations", res.Failed, res.ModelViolations)
 	}

@@ -1,0 +1,266 @@
+// Command puffer-top is a live terminal dashboard over any puffer obs
+// endpoint (-obs-listen of puffer-serve, puffer-daily, puffer-sweep, ...).
+// It polls /metrics/history.json on a fixed cadence and renders the fleet's
+// vital signs — concurrency, sessions/sec, decision-latency quantiles,
+// batch shapes, queue-full and clock-violation counters, and the served
+// model generation — computing nothing the endpoint's windowed history does
+// not already carry, so watching a run cannot perturb it.
+//
+//	puffer-top                          # watch 127.0.0.1:9090
+//	puffer-top -addr 127.0.0.1:9091 -interval 2s
+//	puffer-top -once                    # print one frame and exit (scripts)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("puffer-top: ")
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("puffer-top", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9090", "obs endpoint to watch (host:port of some process's -obs-listen)")
+		interval = fs.Duration("interval", time.Second, "poll and redraw cadence")
+		once     = fs.Bool("once", false, "fetch once, print one frame without clearing the screen, and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := "http://" + *addr + "/metrics/history.json"
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		doc, err := fetch(client, url)
+		if err != nil {
+			return err
+		}
+		fmt.Print(renderFrame(doc, *addr, time.Now()))
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		doc, err := fetch(client, url)
+		frame := ""
+		if err != nil {
+			frame = fmt.Sprintf("puffer-top — %s — %s\n\n  %v\n", *addr,
+				time.Now().Format("15:04:05"), err)
+		} else {
+			frame = renderFrame(doc, *addr, time.Now())
+		}
+		// Clear screen, home cursor, draw.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-sig:
+			fmt.Println()
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// historyDoc mirrors the obs endpoint's /metrics/history.json document.
+type historyDoc struct {
+	IntervalS float64 `json:"interval_s"`
+	Samples   int     `json:"samples"`
+	Counters  []struct {
+		Name     string    `json:"name"`
+		Values   []int64   `json:"values"`
+		RatePerS []float64 `json:"rate_per_s"`
+	} `json:"counters"`
+	Gauges []struct {
+		Name   string    `json:"name"`
+		Values []float64 `json:"values"`
+	} `json:"gauges"`
+	Histograms []struct {
+		Name      string  `json:"name"`
+		Counts    []int64 `json:"counts"`
+		WinCount  []int64 `json:"win_count"`
+		WinP50NS  []int64 `json:"win_p50"`
+		WinP99NS  []int64 `json:"win_p99"`
+		WinP999NS []int64 `json:"win_p999"`
+	} `json:"histograms"`
+}
+
+func fetch(client *http.Client, url string) (*historyDoc, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	var doc historyDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &doc, nil
+}
+
+// Lookup helpers over the history document. Every reader tolerates absent
+// metrics (a daemon that has not served yet, a virtual-only run) by
+// returning ok=false, so the frame renders whatever subset is live.
+
+func (d *historyDoc) counterValue(name string) (int64, bool) {
+	for _, c := range d.Counters {
+		if c.Name == name && len(c.Values) > 0 {
+			return c.Values[len(c.Values)-1], true
+		}
+	}
+	return 0, false
+}
+
+func (d *historyDoc) counterRate(name string) (float64, bool) {
+	for _, c := range d.Counters {
+		if c.Name == name && len(c.RatePerS) > 0 {
+			return c.RatePerS[len(c.RatePerS)-1], true
+		}
+	}
+	return 0, false
+}
+
+func (d *historyDoc) gaugeValue(name string) (float64, bool) {
+	for _, g := range d.Gauges {
+		if g.Name == name && len(g.Values) > 0 {
+			return g.Values[len(g.Values)-1], true
+		}
+	}
+	return 0, false
+}
+
+// histWindow returns the newest non-empty window of the named histogram
+// (the last poll interval that saw observations), so an idle moment shows
+// the most recent activity instead of zeros.
+func (d *historyDoc) histWindow(name string) (count, p50, p99, p999 int64, ok bool) {
+	for _, h := range d.Histograms {
+		if h.Name != name {
+			continue
+		}
+		for i := len(h.WinCount) - 1; i >= 0; i-- {
+			if h.WinCount[i] > 0 {
+				return h.WinCount[i], h.WinP50NS[i], h.WinP99NS[i], h.WinP999NS[i], true
+			}
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+func ns(v int64) string { return time.Duration(v).Round(time.Microsecond).String() }
+
+// renderFrame draws one dashboard frame from a history document. Pure
+// (clock passed in), so tests assert on its output directly.
+func renderFrame(d *historyDoc, addr string, now time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "puffer-top — %s — %s (%ds window × %d samples)\n\n",
+		addr, now.Format("15:04:05"), int(d.IntervalS), d.Samples)
+
+	row := func(label, text string) {
+		fmt.Fprintf(&b, "  %-11s %s\n", label, text)
+	}
+
+	// Sessions: the serving daemon's live gauge, or the load generator's.
+	if v, ok := d.gaugeValue("serve_sessions_active"); ok {
+		line := fmt.Sprintf("active %.0f", v)
+		if rate, ok := d.counterRate("serve_sessions_total"); ok {
+			line += fmt.Sprintf("   opening %.1f/s", rate)
+		}
+		if tot, ok := d.counterValue("serve_sessions_total"); ok {
+			line += fmt.Sprintf("   total %d", tot)
+		}
+		row("sessions", line)
+	} else if v, ok := d.gaugeValue("runner_sessions_per_sec"); ok {
+		row("sessions", fmt.Sprintf("%.1f/s (runner)", v))
+	}
+
+	// Decisions: rate plus the windowed latency quantiles, serving-side
+	// first, fleet engine otherwise.
+	for _, src := range []struct{ counter, hist, label string }{
+		{"serve_decisions_total", "serve_decision_ns", "decisions"},
+		{"", "serve_request_ns", "requests"},
+		{"", "serve_client_rtt_ns", "wire rtt"},
+		{"", "fleet_decision_ns", "fleet dec"},
+	} {
+		line := ""
+		if src.counter != "" {
+			if rate, ok := d.counterRate(src.counter); ok {
+				line += fmt.Sprintf("%.0f/s   ", rate)
+			}
+		}
+		if n, p50, p99, p999, ok := d.histWindow(src.hist); ok {
+			line += fmt.Sprintf("p50 %s  p99 %s  p999 %s  (%d in window)",
+				ns(p50), ns(p99), ns(p999), n)
+		}
+		if line != "" {
+			row(src.label, line)
+		}
+	}
+
+	// Batch shape: serving batches in sessions, service batches in rows.
+	if n, p50, p99, _, ok := d.histWindow("serve_batch_sessions"); ok {
+		row("batch", fmt.Sprintf("p50 %d  p99 %d sessions/flush  (%d flushes in window)",
+			p50, p99, n))
+	}
+	if n, p50, p99, _, ok := d.histWindow("fleet_batch_rows"); ok {
+		row("rows", fmt.Sprintf("p50 %d  p99 %d rows/net  (%d batches in window)",
+			p50, p99, n))
+	}
+
+	// Invariant counters: these being nonzero is the headline.
+	inv := ""
+	for _, c := range []struct{ name, label string }{
+		{"serve_queue_full_total", "queue_full"},
+		{"serve_clock_violations_total", "clock_violations"},
+		{"serve_proto_errors_total", "proto_errors"},
+		{"serve_sessions_aborted_total", "aborted"},
+	} {
+		if v, ok := d.counterValue(c.name); ok {
+			inv += fmt.Sprintf("%s %d   ", c.label, v)
+		}
+	}
+	if inv != "" {
+		row("counters", strings.TrimRight(inv, " "))
+	}
+
+	// Model: served generation and rotation count.
+	if gen, ok := d.gaugeValue("serve_model_generation"); ok {
+		line := fmt.Sprintf("generation %.0f", gen)
+		if rot, ok := d.counterValue("serve_model_rotations_total"); ok {
+			line += fmt.Sprintf("   rotations %d", rot)
+		}
+		row("model", line)
+	}
+
+	if b.Len() == 0 || d.Samples == 0 {
+		fmt.Fprintf(&b, "  (no samples yet)\n")
+	}
+	return b.String()
+}

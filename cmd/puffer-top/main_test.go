@@ -1,0 +1,111 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"puffer/internal/obs"
+)
+
+func syntheticDoc() *historyDoc {
+	d := &historyDoc{IntervalS: 1, Samples: 2}
+	d.Counters = append(d.Counters, struct {
+		Name     string    `json:"name"`
+		Values   []int64   `json:"values"`
+		RatePerS []float64 `json:"rate_per_s"`
+	}{Name: "serve_decisions_total", Values: []int64{100, 900}, RatePerS: []float64{800}},
+		struct {
+			Name     string    `json:"name"`
+			Values   []int64   `json:"values"`
+			RatePerS []float64 `json:"rate_per_s"`
+		}{Name: "serve_queue_full_total", Values: []int64{0, 0}, RatePerS: []float64{0}})
+	d.Gauges = append(d.Gauges, struct {
+		Name   string    `json:"name"`
+		Values []float64 `json:"values"`
+	}{Name: "serve_sessions_active", Values: []float64{3, 7}},
+		struct {
+			Name   string    `json:"name"`
+			Values []float64 `json:"values"`
+		}{Name: "serve_model_generation", Values: []float64{1, 2}})
+	d.Histograms = append(d.Histograms, struct {
+		Name      string  `json:"name"`
+		Counts    []int64 `json:"counts"`
+		WinCount  []int64 `json:"win_count"`
+		WinP50NS  []int64 `json:"win_p50"`
+		WinP99NS  []int64 `json:"win_p99"`
+		WinP999NS []int64 `json:"win_p999"`
+	}{
+		Name: "serve_decision_ns", Counts: []int64{100, 900},
+		WinCount: []int64{800}, WinP50NS: []int64{18000},
+		WinP99NS: []int64{220000}, WinP999NS: []int64{1200000},
+	})
+	return d
+}
+
+func TestRenderFrame(t *testing.T) {
+	frame := renderFrame(syntheticDoc(), "127.0.0.1:9090", time.Unix(0, 0).UTC())
+	for _, want := range []string{
+		"puffer-top — 127.0.0.1:9090",
+		"active 7",
+		"800/s",
+		"p50 18µs",
+		"p99 220µs",
+		"p999 1.2ms",
+		"queue_full 0",
+		"generation 2",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+func TestRenderFrameEmpty(t *testing.T) {
+	frame := renderFrame(&historyDoc{}, "x", time.Unix(0, 0).UTC())
+	if !strings.Contains(frame, "no samples yet") {
+		t.Fatalf("empty doc frame: %q", frame)
+	}
+}
+
+// TestFetchLiveEndpoint polls a real obs endpoint end to end: register
+// metrics, take history samples, fetch over HTTP, render.
+func TestFetchLiveEndpoint(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	reg := obs.NewRegistry()
+	reg.Gauge("serve_sessions_active").Set(5)
+	reg.Counter("serve_decisions_total").Add(42)
+	reg.Histogram("serve_decision_ns").Observe(25000)
+
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := "http://" + srv.Addr + "/metrics/history.json"
+	// The embedded history samples immediately on Start; poll until the
+	// first sample lands.
+	var doc *historyDoc
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		doc, err = fetch(client, url)
+		if err == nil && doc.Samples > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no history sample after 5s (err=%v)", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v, ok := doc.gaugeValue("serve_sessions_active"); !ok || v != 5 {
+		t.Fatalf("gauge through endpoint: %v %v", v, ok)
+	}
+	frame := renderFrame(doc, srv.Addr, time.Now())
+	if !strings.Contains(frame, "active 5") {
+		t.Fatalf("live frame missing gauge:\n%s", frame)
+	}
+}

@@ -130,6 +130,13 @@ type session struct {
 	parkT    float64
 	done     bool
 	result   experiment.SessionResult
+
+	// Trace state: seq numbers this session's decisions; curTrace/curSpan
+	// name the in-flight traced decision (0 = untraced) and are read by the
+	// engine while the session is parked to attribute the shared flush.
+	seq      uint64
+	curTrace uint64
+	curSpan  uint64
 }
 
 // engine coordinates the event loop.
@@ -162,23 +169,68 @@ func (s *session) Decide(alg abr.Algorithm, obs *abr.Observation, now float64) i
 		}
 	}
 	t := s.arrival + now
+	// Deterministic per-session sampling picks traced decisions; the trace
+	// id is a pure function of (session id, decision seq), so tracing a run
+	// twice traces the same decisions under the same ids.
+	tr := metrics.Tracing()
+	s.curTrace, s.curSpan = 0, 0
+	if tr != nil && tr.Sampled(int64(s.id)) {
+		s.curTrace = metrics.DecisionTraceID(int64(s.id), s.seq)
+		s.curSpan = tr.NewSpanID()
+	}
+	trace, root := s.curTrace, s.curSpan
+	s.seq++
 	if s.deferred != nil {
 		t0 := metrics.Now()
 		s.deferred.PrepareChoose(obs)
 		prepare := metrics.SinceNS(t0)
+		var p0 int64
+		if trace != 0 {
+			tr.Record(metrics.Span{Trace: trace, ID: tr.NewSpanID(), Parent: root,
+				Name: "prepare", Start: t0, Dur: prepare})
+			p0 = t0 + prepare
+		}
 		s.park(t)
 		t1 := metrics.Now()
 		q := s.deferred.FinishChoose(obs)
 		if t1 != 0 {
 			decisionNS.Observe(prepare + metrics.SinceNS(t1))
 		}
+		if trace != 0 {
+			tr.Record(metrics.Span{Trace: trace, ID: tr.NewSpanID(), Parent: root,
+				Name: "batch_residency", Start: p0, Dur: t1 - p0})
+			tr.Record(metrics.Span{Trace: trace, ID: tr.NewSpanID(), Parent: root,
+				Name: "finish", Start: t1, Dur: metrics.SinceNS(t1)})
+			tr.Record(metrics.Span{Trace: trace, ID: root, Name: "fleet_decision",
+				Start: t0, Dur: metrics.SinceNS(t0), Attrs: []metrics.Attr{
+					{Key: "session", Val: int64(s.id)},
+					{Key: "seq", Val: int64(s.seq - 1)},
+					{Key: "chunk", Val: int64(obs.ChunkIndex)},
+				}})
+		}
 		return q
+	}
+	var p0 int64
+	if trace != 0 {
+		p0 = metrics.Now()
 	}
 	s.park(t)
 	t1 := metrics.Now()
 	q := alg.Choose(obs)
 	if t1 != 0 {
 		decisionNS.Observe(metrics.SinceNS(t1))
+	}
+	if trace != 0 {
+		tr.Record(metrics.Span{Trace: trace, ID: tr.NewSpanID(), Parent: root,
+			Name: "batch_residency", Start: p0, Dur: t1 - p0})
+		tr.Record(metrics.Span{Trace: trace, ID: tr.NewSpanID(), Parent: root,
+			Name: "finish", Start: t1, Dur: metrics.SinceNS(t1)})
+		tr.Record(metrics.Span{Trace: trace, ID: root, Name: "fleet_decision",
+			Start: p0, Dur: metrics.SinceNS(p0), Attrs: []metrics.Attr{
+				{Key: "session", Val: int64(s.id)},
+				{Key: "seq", Val: int64(s.seq - 1)},
+				{Key: "chunk", Val: int64(obs.ChunkIndex)},
+			}})
 	}
 	return q
 }
@@ -317,7 +369,21 @@ func RunTrial(trial *experiment.Config, cfg Config) (*experiment.TrialAcc, *Stat
 				e.svc.Enqueue(s.dp.Pending())
 			}
 		}
-		e.svc.Flush()
+		// Attribute the shared flush (and its kernel spans) to the first
+		// traced decision parked in this batch; parked sessions' curTrace is
+		// stable until they resume.
+		if tr := metrics.Tracing(); tr != nil {
+			for _, s := range batch {
+				if s.curTrace != 0 {
+					metrics.SetFlushTrace(s.curTrace, s.curSpan)
+					break
+				}
+			}
+			e.svc.Flush()
+			metrics.ClearFlushTrace()
+		} else {
+			e.svc.Flush()
+		}
 		for _, s := range batch {
 			if s.dp != nil {
 				s.dp.Clear()

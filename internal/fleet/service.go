@@ -88,11 +88,13 @@ func (s *InferenceService) Enqueue(steps []core.PendingStep) {
 func (s *InferenceService) Flush() {
 	t0 := obs.Now()
 	any := false
+	var totalRows int64
 	for _, g := range s.order {
 		if g.rowSum == 0 {
 			continue
 		}
 		any = true
+		totalRows += int64(g.rowSum)
 		dim := g.net.InputSize()
 		nOut := g.net.OutputSize()
 		s.feats = growFloats(s.feats, g.rowSum*dim)
@@ -122,6 +124,16 @@ func (s *InferenceService) Flush() {
 		s.flushes++
 		svcFlushesTotal.Inc()
 		svcFlushNS.ObserveSince(t0)
+		// The flush is shared work: attribute its span (parenting the kernel
+		// spans recorded inside PredictDistBatch) to the flush owner's
+		// designated traced decision, when one exists.
+		if tr := obs.Tracing(); tr != nil {
+			if trace, parent := obs.FlushTrace(); trace != 0 {
+				tr.Record(obs.Span{Trace: trace, ID: tr.NewSpanID(), Parent: parent,
+					Name: "infer_flush", Start: t0, Dur: obs.SinceNS(t0),
+					Attrs: []obs.Attr{{Key: "rows", Val: totalRows}}})
+			}
+		}
 	} else {
 		svcFlushesEmpty.Inc()
 	}

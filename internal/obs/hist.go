@@ -199,6 +199,43 @@ func Merge(a, b HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Sub returns the distribution of observations recorded between an earlier
+// snapshot old of the same histogram and this one — the windowed delta the
+// metrics history computes per sampling step. Bucket counts subtract
+// (clamped at zero, so a reset or mismatched operand degrades gracefully);
+// Min and Max are not recoverable for a window, so they tighten to the
+// delta's outermost non-empty bucket bounds, keeping Quantile's error
+// guarantee intact.
+func (s HistSnapshot) Sub(old HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Name: s.Name}
+	j := 0
+	for _, b := range s.Buckets {
+		for j < len(old.Buckets) && old.Buckets[j].Low < b.Low {
+			j++
+		}
+		n := b.Count
+		if j < len(old.Buckets) && old.Buckets[j].Low == b.Low {
+			if old.Buckets[j].Count >= n {
+				n = 0
+			} else {
+				n -= old.Buckets[j].Count
+			}
+		}
+		if n != 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Low: b.Low, High: b.High, Count: n})
+			out.Count += int64(n)
+		}
+	}
+	if d := s.Sum - old.Sum; d > 0 {
+		out.Sum = d
+	}
+	if len(out.Buckets) > 0 {
+		out.Min = out.Buckets[0].Low
+		out.Max = out.Buckets[len(out.Buckets)-1].High
+	}
+	return out
+}
+
 // Quantile estimates the p-quantile (p in [0, 1]) of the recorded values.
 // The estimate is the upper bound of the bucket holding the rank-⌈p·count⌉
 // smallest observation, so for a true quantile value v it is guaranteed

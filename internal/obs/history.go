@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// A History samples a registry's snapshot on a fixed cadence into a
+// bounded ring, turning the instantaneous /metrics.json view into a short
+// time series: windowed counter rates and per-window histogram quantile
+// deltas. It is strictly wall-side — sampling reads metric snapshots and
+// never touches experiment state — so a live history cannot perturb a run.
+//
+// The obs HTTP endpoint starts one automatically and serves it at
+// /metrics/history.json; puffer-top renders the same arithmetic live.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+	depth    int
+
+	mu      sync.Mutex
+	samples []historySample // ring
+	total   uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// historySample is one captured cut.
+type historySample struct {
+	t    time.Time
+	snap Snapshot
+}
+
+// Defaults for the endpoint-embedded history: one sample per second, five
+// minutes of depth.
+const (
+	DefaultHistoryInterval = time.Second
+	DefaultHistoryDepth    = 300
+)
+
+// NewHistory returns an idle history over reg (interval <= 0 and depth <= 0
+// take the defaults). Start begins sampling; Sample takes one cut
+// synchronously (what tests and the ticker both call).
+func NewHistory(reg *Registry, interval time.Duration, depth int) *History {
+	if interval <= 0 {
+		interval = DefaultHistoryInterval
+	}
+	if depth <= 0 {
+		depth = DefaultHistoryDepth
+	}
+	return &History{reg: reg, interval: interval, depth: depth}
+}
+
+// Start launches the fixed-cadence sampler goroutine. Stop ends it.
+func (h *History) Start() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stop != nil {
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(h.interval)
+		defer tick.Stop()
+		h.Sample()
+		for {
+			select {
+			case <-tick.C:
+				h.Sample()
+			case <-stop:
+				return
+			}
+		}
+	}(h.stop, h.done)
+}
+
+// Stop halts the sampler goroutine (no-op when not started).
+func (h *History) Stop() {
+	h.mu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Sample takes one cut of the registry now.
+func (h *History) Sample() {
+	s := historySample{t: time.Now(), snap: h.reg.Snapshot()}
+	h.mu.Lock()
+	if len(h.samples) < h.depth {
+		h.samples = append(h.samples, s)
+	} else {
+		h.samples[h.total%uint64(h.depth)] = s
+	}
+	h.total++
+	h.mu.Unlock()
+}
+
+// ordered returns the ring's samples oldest first.
+func (h *History) ordered() []historySample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]historySample, 0, len(h.samples))
+	if h.total > uint64(len(h.samples)) {
+		at := int(h.total % uint64(h.depth))
+		out = append(out, h.samples[at:]...)
+		out = append(out, h.samples[:at]...)
+	} else {
+		out = append(out, h.samples...)
+	}
+	return out
+}
+
+// counterSeries is one counter's history: absolute values per sample plus
+// the windowed rate() between consecutive samples (len(values)-1 entries).
+type counterSeries struct {
+	Name     string    `json:"name"`
+	Values   []int64   `json:"values"`
+	RatePerS []float64 `json:"rate_per_s,omitempty"`
+}
+
+// gaugeSeries is one gauge's raw values per sample.
+type gaugeSeries struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// histSeries is one histogram's history: cumulative counts per sample plus
+// the per-window delta distributions' count and p50/p99/p999 — the
+// quantiles of only the observations that landed in each window, which is
+// what makes a latency regression visible the moment it starts instead of
+// being averaged into the whole run.
+type histSeries struct {
+	Name      string  `json:"name"`
+	Counts    []int64 `json:"counts"`
+	WinCount  []int64 `json:"win_count,omitempty"`
+	WinP50NS  []int64 `json:"win_p50,omitempty"`
+	WinP99NS  []int64 `json:"win_p99,omitempty"`
+	WinP999NS []int64 `json:"win_p999,omitempty"`
+}
+
+// historyDoc is the /metrics/history.json document.
+type historyDoc struct {
+	IntervalS  float64         `json:"interval_s"`
+	Samples    int             `json:"samples"`
+	TimesMS    []int64         `json:"times_unix_ms"`
+	Counters   []counterSeries `json:"counters"`
+	Gauges     []gaugeSeries   `json:"gauges"`
+	Histograms []histSeries    `json:"histograms"`
+}
+
+// WriteJSON renders the sampled history. Metric series align by name
+// across samples; a metric absent from an early sample (registered
+// mid-run) reads as zero there.
+func (h *History) WriteJSON(w io.Writer) error {
+	samples := h.ordered()
+	doc := historyDoc{
+		IntervalS:  h.interval.Seconds(),
+		Samples:    len(samples),
+		Counters:   []counterSeries{},
+		Gauges:     []gaugeSeries{},
+		Histograms: []histSeries{},
+	}
+	for _, s := range samples {
+		doc.TimesMS = append(doc.TimesMS, s.t.UnixMilli())
+	}
+
+	// Union of names in last-sample-first order: the newest sample names
+	// every live metric; earlier-only names (none in practice) follow.
+	type key struct{ kind, name string }
+	seen := map[key]bool{}
+	addName := func(kind, name string) {
+		seen[key{kind, name}] = true
+	}
+	var cNames, gNames, hNames []string
+	for i := len(samples) - 1; i >= 0; i-- {
+		for _, c := range samples[i].snap.Counters {
+			if !seen[key{"c", c.Name}] {
+				addName("c", c.Name)
+				cNames = append(cNames, c.Name)
+			}
+		}
+		for _, g := range samples[i].snap.Gauges {
+			if !seen[key{"g", g.Name}] {
+				addName("g", g.Name)
+				gNames = append(gNames, g.Name)
+			}
+		}
+		for _, hs := range samples[i].snap.Histograms {
+			if !seen[key{"h", hs.Name}] {
+				addName("h", hs.Name)
+				hNames = append(hNames, hs.Name)
+			}
+		}
+	}
+
+	dtSeconds := func(i int) float64 {
+		d := samples[i].t.Sub(samples[i-1].t).Seconds()
+		if d <= 0 {
+			d = h.interval.Seconds()
+		}
+		return d
+	}
+
+	for _, name := range cNames {
+		cs := counterSeries{Name: name}
+		for _, s := range samples {
+			var v int64
+			for _, c := range s.snap.Counters {
+				if c.Name == name {
+					v = c.Value
+					break
+				}
+			}
+			cs.Values = append(cs.Values, v)
+		}
+		for i := 1; i < len(cs.Values); i++ {
+			d := cs.Values[i] - cs.Values[i-1]
+			if d < 0 {
+				d = 0
+			}
+			cs.RatePerS = append(cs.RatePerS, float64(d)/dtSeconds(i))
+		}
+		doc.Counters = append(doc.Counters, cs)
+	}
+	for _, name := range gNames {
+		gs := gaugeSeries{Name: name}
+		for _, s := range samples {
+			var v float64
+			for _, g := range s.snap.Gauges {
+				if g.Name == name {
+					v = g.Value
+					break
+				}
+			}
+			gs.Values = append(gs.Values, v)
+		}
+		doc.Gauges = append(doc.Gauges, gs)
+	}
+	for _, name := range hNames {
+		hs := histSeries{Name: name}
+		var snaps []HistSnapshot
+		for _, s := range samples {
+			var cur HistSnapshot
+			for _, c := range s.snap.Histograms {
+				if c.Name == name {
+					cur = c
+					break
+				}
+			}
+			snaps = append(snaps, cur)
+			hs.Counts = append(hs.Counts, cur.Count)
+		}
+		for i := 1; i < len(snaps); i++ {
+			win := snaps[i].Sub(snaps[i-1])
+			hs.WinCount = append(hs.WinCount, win.Count)
+			hs.WinP50NS = append(hs.WinP50NS, win.Quantile(0.50))
+			hs.WinP99NS = append(hs.WinP99NS, win.Quantile(0.99))
+			hs.WinP999NS = append(hs.WinP999NS, win.Quantile(0.999))
+		}
+		doc.Histograms = append(doc.Histograms, hs)
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding history: %w", err)
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestHistSnapshotSub(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	h := newHistogram("x")
+	h.Observe(10)
+	h.Observe(20)
+	old := h.Snapshot()
+	h.Observe(20)
+	h.Observe(1000)
+	win := h.Snapshot().Sub(old)
+	if win.Count != 2 {
+		t.Fatalf("window count = %d, want 2", win.Count)
+	}
+	if win.Sum != 1020 {
+		t.Fatalf("window sum = %d, want 1020", win.Sum)
+	}
+	if q := win.Quantile(0.5); q < 20 || q > 21 {
+		t.Fatalf("window p50 = %d, want ~20", q)
+	}
+	if q := win.Quantile(1.0); q < 1000 || q > 1032 {
+		t.Fatalf("window max quantile = %d, want ~1000", q)
+	}
+	// Subtracting a snapshot from itself leaves an empty window.
+	cur := h.Snapshot()
+	if empty := cur.Sub(cur); empty.Count != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("self-subtraction not empty: %+v", empty)
+	}
+	// A mismatched (newer) operand clamps instead of going negative.
+	if neg := old.Sub(cur); neg.Count != 0 {
+		t.Fatalf("clamped subtraction count = %d, want 0", neg.Count)
+	}
+}
+
+func TestHistorySampleAndJSON(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total")
+	g := reg.Gauge("inflight")
+	hist := reg.Histogram("lat_ns")
+
+	h := NewHistory(reg, time.Second, 8)
+	c.Add(10)
+	g.Set(3)
+	hist.Observe(100)
+	h.Sample()
+	c.Add(30)
+	g.Set(5)
+	hist.Observe(200)
+	hist.Observe(400)
+	h.Sample()
+
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		IntervalS float64 `json:"interval_s"`
+		Samples   int     `json:"samples"`
+		TimesMS   []int64 `json:"times_unix_ms"`
+		Counters  []struct {
+			Name     string    `json:"name"`
+			Values   []int64   `json:"values"`
+			RatePerS []float64 `json:"rate_per_s"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name   string    `json:"name"`
+			Values []float64 `json:"values"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Name     string  `json:"name"`
+			Counts   []int64 `json:"counts"`
+			WinCount []int64 `json:"win_count"`
+			WinP50NS []int64 `json:"win_p50"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("history JSON invalid: %v", err)
+	}
+	if doc.Samples != 2 || len(doc.TimesMS) != 2 {
+		t.Fatalf("samples = %d times = %d, want 2 each", doc.Samples, len(doc.TimesMS))
+	}
+	if len(doc.Counters) != 1 || doc.Counters[0].Name != "reqs_total" {
+		t.Fatalf("counters = %+v", doc.Counters)
+	}
+	if v := doc.Counters[0].Values; len(v) != 2 || v[0] != 10 || v[1] != 40 {
+		t.Fatalf("counter values = %v, want [10 40]", v)
+	}
+	if r := doc.Counters[0].RatePerS; len(r) != 1 || r[0] <= 0 {
+		t.Fatalf("counter rate = %v, want one positive window", r)
+	}
+	if v := doc.Gauges[0].Values; len(v) != 2 || v[1] != 5 {
+		t.Fatalf("gauge values = %v, want [3 5]", v)
+	}
+	hs := doc.Histograms[0]
+	if len(hs.Counts) != 2 || hs.Counts[0] != 1 || hs.Counts[1] != 3 {
+		t.Fatalf("hist counts = %v, want [1 3]", hs.Counts)
+	}
+	if len(hs.WinCount) != 1 || hs.WinCount[0] != 2 {
+		t.Fatalf("window counts = %v, want [2]", hs.WinCount)
+	}
+	if p := hs.WinP50NS[0]; p < 200 || p > 207 {
+		t.Fatalf("window p50 = %d, want ~200 (window excludes the first sample's 100)", p)
+	}
+}
+
+func TestHistoryRingDepth(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(reg, time.Second, 3)
+	for i := 0; i < 7; i++ {
+		h.Sample()
+	}
+	if got := len(h.ordered()); got != 3 {
+		t.Fatalf("ring holds %d samples, want 3", got)
+	}
+	// Oldest-first ordering.
+	s := h.ordered()
+	for i := 1; i < len(s); i++ {
+		if s[i].t.Before(s[i-1].t) {
+			t.Fatal("samples not oldest-first")
+		}
+	}
+}
+
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(reg, time.Millisecond, 100)
+	h.Start()
+	h.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(h.ordered()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+	n := len(h.ordered())
+	if n < 2 {
+		t.Fatalf("sampler took only %d samples", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := len(h.ordered()); got != n {
+		t.Fatal("sampler still running after Stop")
+	}
+}

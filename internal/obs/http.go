@@ -14,22 +14,28 @@ type Server struct {
 	Addr string
 	srv  *http.Server
 	ln   net.Listener
+	hist *History
 }
 
 // Serve starts the -obs-listen HTTP endpoint on addr, exposing the
 // registry live for the duration of a long run:
 //
-//	/metrics        Prometheus text exposition (counters, gauges,
-//	                histogram summaries with p50/p99/p999)
-//	/metrics.json   the canonical JSON snapshot (what -obs-dump writes)
-//	/debug/vars     alias of /metrics.json (expvar-style probing)
-//	/debug/pprof/   net/http/pprof (profile, heap, trace, ...)
+//	/metrics               Prometheus text exposition (counters, gauges,
+//	                       histogram summaries with p50/p99/p999)
+//	/metrics.json          the canonical JSON snapshot (what -obs-dump writes)
+//	/metrics/history.json  the fixed-cadence sampled time series: windowed
+//	                       counter rates and per-window histogram quantiles
+//	/trace.json            the installed tracer's ring as Chrome trace-event
+//	                       JSON (404 when no tracer is installed)
+//	/debug/vars            alias of /metrics.json (expvar-style probing)
+//	/debug/pprof/          net/http/pprof (profile, heap, trace, ...)
 //
 // The server is wall-side only: serving a request reads metric snapshots
 // and never touches experiment state, so a live endpoint cannot perturb a
 // run. Serve returns once the listener is bound; requests are handled on a
-// background goroutine until Close.
+// background goroutine until Close, which also stops the history sampler.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	hist := NewHistory(reg, DefaultHistoryInterval, DefaultHistoryDepth)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -41,6 +47,19 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	}
 	mux.HandleFunc("/metrics.json", snapJSON)
 	mux.HandleFunc("/debug/vars", snapJSON)
+	mux.HandleFunc("/metrics/history.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		hist.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		t := curTracer.Load()
+		if t == nil {
+			http.Error(w, "no tracer installed (run with -trace-out or -trace-sample)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteChromeTrace(w, TraceProc(), t.Snapshot())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -51,14 +70,15 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "puffer obs endpoint\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "puffer obs endpoint\n\n/metrics\n/metrics.json\n/metrics/history.json\n/trace.json\n/debug/vars\n/debug/pprof/\n")
 	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	hist.Start()
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln, hist: hist}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -68,6 +88,7 @@ func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.hist.Stop()
 	s.srv.SetKeepAlivesEnabled(false)
 	done := make(chan error, 1)
 	go func() { done <- s.srv.Close() }()

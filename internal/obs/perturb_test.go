@@ -1,14 +1,15 @@
 // Differential proof of the zero-perturbation contract: the same
-// experiments, metrics off vs metrics fully on (recording, event logs),
-// produce byte-identical results, models, telemetry, checkpoints, and
-// warehouse indexes. External test package so the real engines can be
-// driven without an import cycle.
+// experiments, metrics off vs metrics fully on (recording, event logs,
+// span tracing), produce byte-identical results, models, telemetry,
+// checkpoints, and warehouse indexes. External test package so the real
+// engines can be driven without an import cycle.
 package obs_test
 
 import (
 	"bytes"
 	"encoding/json"
 	"io/fs"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,6 +19,8 @@ import (
 	"puffer/internal/obs"
 	"puffer/internal/results"
 	"puffer/internal/runner"
+	"puffer/internal/scenario"
+	"puffer/internal/serve"
 	"puffer/internal/sweep"
 )
 
@@ -27,6 +30,18 @@ func obsOn(t *testing.T, on bool) {
 	prev := obs.Enabled()
 	obs.SetEnabled(on)
 	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+// tracingOn installs a sample-everything tracer for one sub-run, so the
+// "on" legs exercise the full span-recording path through the engines,
+// not just metrics and events. Returns the tracer so the caller can
+// assert spans actually landed (a vacuous differential proves nothing).
+func tracingOn(t *testing.T) *obs.Tracer {
+	t.Helper()
+	tr := obs.NewTracer(1, 0)
+	obs.SetTracer(tr)
+	t.Cleanup(func() { obs.SetTracer(nil) })
+	return tr
 }
 
 // perturbConfig is the runner testsuite's small-but-real continual
@@ -89,8 +104,8 @@ func eventLog(t *testing.T) *obs.EventLog {
 }
 
 // TestZeroPerturbationEngines: on both execution engines, a run with
-// recording and events fully on is byte-identical to the same run with
-// everything off.
+// recording, events, and span tracing fully on is byte-identical to the
+// same run with everything off.
 func TestZeroPerturbationEngines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real (tiny) experiments")
@@ -104,6 +119,7 @@ func TestZeroPerturbationEngines(t *testing.T) {
 			}
 
 			obsOn(t, true)
+			tr := tracingOn(t)
 			cfg := perturbConfig(t, 5, engine, 2)
 			cfg.Events = eventLog(t)
 			on, err := runner.Run(cfg)
@@ -112,7 +128,10 @@ func TestZeroPerturbationEngines(t *testing.T) {
 			}
 
 			if !bytes.Equal(fingerprint(t, off), fingerprint(t, on)) {
-				t.Fatal("metrics+events changed the result bytes: zero-perturbation contract violated")
+				t.Fatal("metrics+events+tracing changed the result bytes: zero-perturbation contract violated")
+			}
+			if tr.Total() == 0 {
+				t.Fatal("tracing-on leg recorded no spans: the differential is vacuous")
 			}
 		})
 	}
@@ -137,6 +156,7 @@ func TestZeroPerturbationResume(t *testing.T) {
 	}
 
 	obsOn(t, true)
+	tr := tracingOn(t)
 	resumedCkpt := filepath.Join(dir, "resumed")
 	cfg = perturbConfig(t, 9, "fleet", 2) // the "kill": only 2 of 3 days
 	cfg.CheckpointDir = resumedCkpt
@@ -153,9 +173,95 @@ func TestZeroPerturbationResume(t *testing.T) {
 	}
 
 	if !bytes.Equal(fingerprint(t, straight), fingerprint(t, resumed)) {
-		t.Fatal("obs-on resumed run differs from the obs-off straight run")
+		t.Fatal("obs+tracing-on resumed run differs from the obs-off straight run")
+	}
+	if tr.Total() == 0 {
+		t.Fatal("tracing-on resume recorded no spans: the differential is vacuous")
 	}
 	compareTrees(t, straightCkpt, resumedCkpt)
+}
+
+// TestZeroPerturbationServeTraced: the wall-clock serving differential
+// with tracing fully on. A day served over loopback — every session
+// sampled, spans recorded on both the client and server halves, trace
+// ids riding the wire — produces the exact per-scheme stats of the
+// virtual-time twin run with observability entirely off.
+func TestZeroPerturbationServeTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (tiny) serving day")
+	}
+	var spec scenario.Spec
+	spec.Daily.Days = 2
+	spec.Daily.Sessions = 24
+	spec.Train.Epochs = 1
+	seed := int64(7)
+	spec.Seed = &seed
+	spec.ShardSize = 8
+
+	obsOn(t, false)
+	plan, err := serve.NewPlan(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Warm(0, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := serve.RunVirtual(plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsOn(t, true)
+	tr := tracingOn(t)
+	srv, err := serve.NewServer(serve.Config{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Addr: ln.Addr().String(),
+		Plan: plan,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.ModelViolations != 0 {
+		t.Fatalf("traced load run: %d failed, %d model violations", res.Failed, res.ModelViolations)
+	}
+	gotBytes, err := json.Marshal(res.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatalf("traced serve stats differ from obs-off virtual twin:\noff: %s\non:  %s", wantBytes, gotBytes)
+	}
+
+	// The differential only counts if both halves actually traced: the
+	// client's wire_rtt roots and the server's request spans must be in
+	// the ring, joined by nonzero trace ids.
+	spans := tr.Snapshot()
+	count := map[string]int{}
+	for _, s := range spans {
+		if s.Trace == 0 {
+			t.Fatalf("span %s recorded with zero trace id", s.Name)
+		}
+		count[s.Name]++
+	}
+	for _, name := range []string{"wire_rtt", "client_send", "server_request", "queue_wait", "reply", "kernel"} {
+		if count[name] == 0 {
+			t.Fatalf("traced serve run recorded no %q spans (got %v)", name, count)
+		}
+	}
 }
 
 // compareTrees asserts two checkpoint directories hold identical files

@@ -25,6 +25,15 @@ type Options struct {
 	CPUProfile string
 	// MemProfile writes a heap profile (post-GC live objects) at exit.
 	MemProfile string
+	// TraceOut installs a span tracer for the run and writes its ring to
+	// this file at exit (Chrome trace-event JSON; Perfetto-loadable).
+	TraceOut string
+	// TraceJSONL switches TraceOut to one-span-per-line JSONL.
+	TraceJSONL bool
+	// TraceSample traces 1-in-N sessions (deterministic per session id).
+	// 0 defaults to 1 (trace everything) when TraceOut is set; setting it
+	// without TraceOut installs the tracer for /trace.json scraping only.
+	TraceSample uint64
 }
 
 // Register installs the shared flags on fs.
@@ -33,11 +42,19 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.Dump, "obs-dump", "", "write the final metrics snapshot as JSON to this file at exit (path; empty = off)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file (path; empty = off)")
 	fs.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile (post-GC) to this file at exit (path; empty = off)")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "record decision spans and write them to this file at exit as Chrome trace-event JSON (path; empty = off); never changes results")
+	fs.BoolVar(&o.TraceJSONL, "trace-jsonl", false, "write -trace-out as one-span-per-line JSONL instead of Chrome trace-event JSON")
+	fs.Uint64Var(&o.TraceSample, "trace-sample", 0, "trace 1-in-N sessions, chosen deterministically per session id (0 = 1 = every session); with no -trace-out the ring is still scrapable at /trace.json")
 }
 
 // Any reports whether any observability output was requested.
 func (o *Options) Any() bool {
-	return o.Listen != "" || o.Dump != "" || o.CPUProfile != "" || o.MemProfile != ""
+	return o.Listen != "" || o.Dump != "" || o.CPUProfile != "" || o.MemProfile != "" || o.Tracing()
+}
+
+// Tracing reports whether a span tracer was requested.
+func (o *Options) Tracing() bool {
+	return o.TraceOut != "" || o.TraceSample > 0
 }
 
 // Start turns the requested hooks on and returns the teardown to defer
@@ -53,6 +70,11 @@ func (o *Options) Start(extraEnable bool, logf func(format string, args ...any))
 	}
 	if o.Any() || extraEnable {
 		obs.SetEnabled(true)
+	}
+	var tracer *obs.Tracer
+	if o.Tracing() {
+		tracer = obs.NewTracer(o.TraceSample, 0)
+		obs.SetTracer(tracer)
 	}
 	var srv *obs.Server
 	if o.Listen != "" {
@@ -82,6 +104,14 @@ func (o *Options) Start(extraEnable bool, logf func(format string, args ...any))
 		if o.Dump != "" {
 			if err := obs.DumpFile(o.Dump, obs.Default); err != nil {
 				logf("obs: %v", err)
+			}
+		}
+		if tracer != nil && o.TraceOut != "" {
+			if err := obs.DumpTraceFile(o.TraceOut, obs.TraceProc(), tracer, o.TraceJSONL); err != nil {
+				logf("obs: %v", err)
+			} else {
+				logf("obs: wrote %d spans to %s (%d overwritten by the ring)",
+					tracer.Total()-tracer.Dropped(), o.TraceOut, tracer.Dropped())
 			}
 		}
 		if err := srv.Close(); err != nil {

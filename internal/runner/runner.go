@@ -25,6 +25,11 @@ var (
 	sessionsPerSec = obs.Default.Gauge("runner_sessions_per_sec")
 )
 
+// runTraceID names the per-day runner trace (day / trial / retrain spans).
+// Session id -1 keeps the id space disjoint from decision traces, whose
+// session ids are non-negative.
+func runTraceID(day int) uint64 { return obs.DecisionTraceID(-1, uint64(day)) }
+
 // Config describes a continual experiment. Field comments state units and
 // the zero-value default uniformly, because cmd/puffer-daily's help text is
 // generated from the same facts.
@@ -327,6 +332,14 @@ func Run(cfg Config) (*Result, error) {
 		wall := obs.SinceNS(t0)
 		dayWallNS.Observe(wall)
 		daysTotal.Inc()
+		if tr := obs.Tracing(); tr != nil {
+			tr.Record(obs.Span{Trace: runTraceID(day), ID: tr.NewSpanID(),
+				Name: "day", Start: t0, Dur: wall, Attrs: []obs.Attr{
+					{Key: "day", Val: int64(day)},
+					{Key: "sessions", Val: int64(cfg.SessionsPerDay)},
+					{Key: "chunks", Val: int64(ds.Chunks)},
+				}})
+		}
 		done := day - start + 1
 		fields := map[string]any{
 			"day": day, "chunks": ds.Chunks, "days_done": day + 1, "days_total": cfg.Days,
@@ -365,6 +378,7 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 	var acc *experiment.TrialAcc
 	var fst *fleet.Stats
 	var err error
+	tTrial := obs.Now()
 	if cfg.Engine == "fleet" {
 		proc := cfg.Arrivals
 		if proc == nil {
@@ -385,6 +399,11 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 	}
 	if err != nil {
 		return DayStats{}, nil, nil, err
+	}
+	if tr := obs.Tracing(); tr != nil {
+		tr.Record(obs.Span{Trace: runTraceID(day), ID: tr.NewSpanID(),
+			Name: "trial", Start: tTrial, Dur: obs.SinceNS(tTrial),
+			Attrs: []obs.Attr{{Key: "day", Val: int64(day)}}})
 	}
 	data := col.Dataset()
 	ds := DayStats{
@@ -430,6 +449,14 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 			return DayStats{}, nil, nil, err
 		}
 		retrainWallNS.ObserveSince(t0)
+		if trc := obs.Tracing(); trc != nil {
+			trc.Record(obs.Span{Trace: runTraceID(day), ID: trc.NewSpanID(),
+				Name: "retrain", Start: t0, Dur: obs.SinceNS(t0),
+				Attrs: []obs.Attr{
+					{Key: "day", Val: int64(day)},
+					{Key: "examples", Val: int64(tr.Examples[0])},
+				}})
+		}
 		ds.Retrained = true
 		ds.Loss, ds.Examples = tr.Loss, tr.Examples
 		r.slot.Store(model)

@@ -110,6 +110,12 @@ type remote struct {
 	violated   bool
 	violations *atomic.Int64
 	decisions  *atomic.Int64
+
+	// Trace state: traced marks a session the deterministic sampler picked;
+	// seq counts its decisions so each gets a distinct trace id.
+	sessID int64
+	traced bool
+	seq    uint64
 }
 
 // Decide implements experiment.DecideHook by asking the server.
@@ -129,13 +135,31 @@ func (r *remote) Decide(_ abr.Algorithm, o *abr.Observation, now float64) int {
 
 func (r *remote) decide(o *abr.Observation, now float64) (int, error) {
 	t0 := obs.Now()
-	r.out = encodeDecide(r.out[:0], now, o)
+	// A traced decision derives its deterministic trace id and carries it
+	// (plus the root span id) in the Decide frame's v2 extension, so the
+	// server's stage spans join this client-side trace.
+	var trace, root uint64
+	tr := obs.Tracing()
+	if tr != nil && r.traced {
+		trace = obs.DecisionTraceID(r.sessID, r.seq)
+		root = tr.NewSpanID()
+		r.seq++
+	}
+	r.out = encodeDecide(r.out[:0], now, o, trace, root)
 	r.c.SetWriteDeadline(time.Now().Add(r.replyTO))
+	var s0 int64
+	if trace != 0 {
+		s0 = obs.Now()
+	}
 	if err := writeFrame(r.bw, msgDecide, r.out); err != nil {
 		return 0, err
 	}
 	if err := r.bw.Flush(); err != nil {
 		return 0, err
+	}
+	if trace != 0 {
+		tr.Record(obs.Span{Trace: trace, ID: tr.NewSpanID(), Parent: root,
+			Name: "client_send", Start: s0, Dur: obs.SinceNS(s0)})
 	}
 	r.c.SetReadDeadline(time.Now().Add(r.replyTO))
 	typ, payload, buf, err := readFrame(r.br, r.buf)
@@ -162,6 +186,15 @@ func (r *remote) decide(o *abr.Observation, now float64) (int, error) {
 	}
 	if t0 != 0 {
 		cliRTTNS.Observe(obs.SinceNS(t0))
+	}
+	if trace != 0 {
+		tr.Record(obs.Span{Trace: trace, ID: root, Name: "wire_rtt",
+			Start: t0, Dur: obs.SinceNS(t0),
+			Attrs: []obs.Attr{
+				{Key: "session", Val: r.sessID},
+				{Key: "seq", Val: int64(r.seq - 1)},
+				{Key: "chunk", Val: int64(o.ChunkIndex)},
+			}})
 	}
 	r.decisions.Add(1)
 	cliDecisionsTotal.Inc()
@@ -301,13 +334,19 @@ func (ld *loader) runSession(id int, arrival float64) (res experiment.SessionRes
 		c: c, br: bufio.NewReaderSize(c, 4<<10), bw: bufio.NewWriterSize(c, 16<<10),
 		arrival: arrival, start: ld.start, timescale: ld.cfg.Timescale,
 		replyTO: ld.cfg.ReplyTimeout, violations: &ld.violations, decisions: &ld.decisions,
+		sessID: int64(id),
+	}
+	var flags uint16
+	if tr := obs.Tracing(); tr != nil && tr.Sampled(int64(id)) {
+		h.traced = true
+		flags |= helloFlagTracing
 	}
 
 	// Handshake.
 	c.SetWriteDeadline(time.Now().Add(ld.cfg.ReplyTimeout))
 	hb := encodeHello(nil, &hello{
 		Version: ProtoVersion, Day: p.Day, Session: id, Seed: p.TrialSeed,
-		Scheme: scheme, PlanHash: p.Hash,
+		Scheme: scheme, PlanHash: p.Hash, Flags: flags,
 	})
 	if err := writeFrame(h.bw, msgHello, hb); err != nil {
 		return res, fmt.Errorf("hello: %w", err)

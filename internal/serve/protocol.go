@@ -10,9 +10,29 @@ import (
 	"puffer/internal/media"
 )
 
-// ProtoVersion is the wire protocol version; the server rejects a Hello
-// carrying any other value. Bump it on any change to message layouts.
-const ProtoVersion = 1
+// ProtoVersion is the wire protocol version the client speaks; the server
+// accepts any version in [ProtoMinVersion, ProtoVersion]. Bump ProtoVersion
+// on any change to message layouts; raise ProtoMinVersion only when a
+// version can no longer be decoded.
+//
+// v1: the original handshake and Decide layouts.
+// v2: Hello carries a trailing flags u16; a Decide frame may carry a
+// trailing 16-byte trace extension (trace id u64, parent span id u64, both
+// zero meaning untraced) joining the client and server halves of one traced
+// decision. A v2 server decodes v1 frames unchanged, and a v2 client that
+// traces nothing emits byte-identical v1 Decide payloads.
+const (
+	ProtoVersion    = 2
+	ProtoMinVersion = 1
+)
+
+// helloFlagTracing marks a v2 session whose client samples decisions for
+// tracing (informational: the server records spans for any Decide whose
+// trace extension is nonzero).
+const helloFlagTracing uint16 = 1 << 0
+
+// decideExtLen is the size of the optional Decide trace extension.
+const decideExtLen = 16
 
 // Message types. One byte follows the length prefix of every frame.
 const (
@@ -168,6 +188,7 @@ type hello struct {
 	Seed     int64
 	Scheme   string
 	PlanHash string
+	Flags    uint16 // v2+: helloFlag* bits; absent (zero) at v1
 }
 
 func encodeHello(b []byte, h *hello) []byte {
@@ -176,7 +197,11 @@ func encodeHello(b []byte, h *hello) []byte {
 	b = appendI32(b, h.Session)
 	b = appendU64(b, uint64(h.Seed))
 	b = appendStr(b, h.Scheme)
-	return appendStr(b, h.PlanHash)
+	b = appendStr(b, h.PlanHash)
+	if h.Version >= 2 {
+		b = appendU16(b, h.Flags)
+	}
+	return b
 }
 
 func decodeHello(payload []byte) (hello, error) {
@@ -189,13 +214,28 @@ func decodeHello(payload []byte) (hello, error) {
 		Scheme:   r.str(),
 		PlanHash: r.str(),
 	}
+	if h.Version >= 2 {
+		h.Flags = r.u16()
+	}
 	return h, r.done()
 }
 
 // encodeDecide serializes one decision request: the session's virtual
 // `now` plus the full abr.Observation (history, tcp_info snapshot, and the
-// materialized encoding horizon).
-func encodeDecide(b []byte, now float64, obs *abr.Observation) []byte {
+// materialized encoding horizon). A nonzero traceID appends the v2 trace
+// extension — the decision's trace id and the client's root span id — so
+// the server's spans join the client's trace; traceID 0 emits a payload
+// byte-identical to v1.
+func encodeDecide(b []byte, now float64, obs *abr.Observation, traceID, parentSpan uint64) []byte {
+	b = encodeDecideBody(b, now, obs)
+	if traceID != 0 {
+		b = appendU64(b, traceID)
+		b = appendU64(b, parentSpan)
+	}
+	return b
+}
+
+func encodeDecideBody(b []byte, now float64, obs *abr.Observation) []byte {
 	b = appendF64(b, now)
 	b = appendI32(b, obs.ChunkIndex)
 	b = appendF64(b, obs.Buffer)
@@ -229,8 +269,11 @@ func encodeDecide(b []byte, now float64, obs *abr.Observation) []byte {
 
 // decodeDecide fills obs from a Decide payload, reusing obs's History and
 // Horizon slices (one observation per session is live at a time, so the
-// buffers amortize to zero allocations in steady state).
-func decodeDecide(payload []byte, obs *abr.Observation) (now float64, err error) {
+// buffers amortize to zero allocations in steady state). The trailing v2
+// trace extension is optional: exactly decideExtLen remaining bytes decode
+// as (traceID, parentSpan), zero remaining means untraced (every v1 frame),
+// any other remainder is a frame error.
+func decodeDecide(payload []byte, obs *abr.Observation) (now float64, traceID, parentSpan uint64, err error) {
 	r := reader{b: payload}
 	now = r.f64()
 	obs.ChunkIndex = r.i32()
@@ -270,5 +313,9 @@ func decodeDecide(payload []byte, obs *abr.Observation) (now float64, err error)
 		}
 		obs.Horizon = append(obs.Horizon, c)
 	}
-	return now, r.done()
+	if r.err == nil && len(r.b) == decideExtLen {
+		traceID = r.u64()
+		parentSpan = r.u64()
+	}
+	return now, traceID, parentSpan, r.done()
 }

@@ -114,9 +114,9 @@ func TestDecideRoundTrip(t *testing.T) {
 			{Index: 19, Complexity: 0.875, Versions: []media.Encoding{{Size: 2e6, SSIMdB: 15.5}}},
 		},
 	}
-	payload := encodeDecide(nil, 123.4375, &obs)
+	payload := encodeDecide(nil, 123.4375, &obs, 0, 0)
 	var got abr.Observation
-	now, err := decodeDecide(payload, &got)
+	now, _, _, err := decodeDecide(payload, &got)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +133,8 @@ func TestDecideRoundTrip(t *testing.T) {
 		Horizon: []media.Chunk{{Index: 20, Complexity: 1, Versions: []media.Encoding{{Size: 5, SSIMdB: 6}}}},
 		TCP:     tcpsim.Info{RTT: 0.05},
 	}
-	payload = encodeDecide(payload[:0], 1, &small)
-	if _, err := decodeDecide(payload, &got); err != nil {
+	payload = encodeDecide(payload[:0], 1, &small, 0, 0)
+	if _, _, _, err := decodeDecide(payload, &got); err != nil {
 		t.Fatal(err)
 	}
 	if len(got.History) == 0 {
@@ -145,9 +145,66 @@ func TestDecideRoundTrip(t *testing.T) {
 	}
 
 	// Trailing bytes are a protocol error.
-	payload = encodeDecide(payload[:0], 1, &small)
-	if _, err := decodeDecide(append(payload, 0), &got); err == nil {
+	payload = encodeDecide(payload[:0], 1, &small, 0, 0)
+	if _, _, _, err := decodeDecide(append(payload, 0), &got); err == nil {
 		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecideTraceExtension(t *testing.T) {
+	obs := abr.Observation{
+		Horizon: []media.Chunk{{Index: 20, Complexity: 1, Versions: []media.Encoding{{Size: 5, SSIMdB: 6}}}},
+		TCP:     tcpsim.Info{RTT: 0.05},
+	}
+	var got abr.Observation
+
+	// traceID 0 emits the v1 layout: no extension bytes.
+	bare := encodeDecide(nil, 1, &obs, 0, 0)
+	ext := encodeDecide(nil, 1, &obs, 0xdeadbeef, 42)
+	if len(ext) != len(bare)+decideExtLen {
+		t.Fatalf("extension adds %d bytes, want %d", len(ext)-len(bare), decideExtLen)
+	}
+	if !bytes.Equal(ext[:len(bare)], bare) {
+		t.Fatal("trace extension changed the observation encoding")
+	}
+
+	now, trace, parent, err := decodeDecide(ext, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 1 || trace != 0xdeadbeef || parent != 42 {
+		t.Fatalf("ext round trip: now=%v trace=%#x parent=%d", now, trace, parent)
+	}
+	// A v1 frame (no extension) decodes as untraced.
+	if _, trace, parent, err := decodeDecide(bare, &got); err != nil || trace != 0 || parent != 0 {
+		t.Fatalf("v1 frame: trace=%d parent=%d err=%v", trace, parent, err)
+	}
+	// A partial extension is a frame error.
+	if _, _, _, err := decodeDecide(ext[:len(ext)-1], &got); err == nil {
+		t.Fatal("truncated trace extension accepted")
+	}
+}
+
+func TestHelloVersionCompat(t *testing.T) {
+	// A v1 hello (no flags field) still decodes.
+	v1 := hello{Version: 1, Day: 3, Session: 41, Seed: -12345,
+		Scheme: "Fugu", PlanHash: "abc:day3"}
+	out, err := decodeHello(encodeHello(nil, &v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != v1 {
+		t.Fatalf("v1 hello round trip: got %+v want %+v", out, v1)
+	}
+	// A v2 hello carries flags.
+	v2 := hello{Version: ProtoVersion, Day: 3, Session: 41, Seed: -12345,
+		Scheme: "Fugu", PlanHash: "abc:day3", Flags: helloFlagTracing}
+	out, err = decodeHello(encodeHello(nil, &v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != v2 {
+		t.Fatalf("v2 hello round trip: got %+v want %+v", out, v2)
 	}
 }
 

@@ -50,6 +50,7 @@ var (
 	srvQueueFull       = obs.Default.Counter(MetricQueueFull)
 	srvProtoErrors     = obs.Default.Counter("serve_proto_errors_total")
 	srvRotationsTotal  = obs.Default.Counter("serve_model_rotations_total")
+	srvModelGen        = obs.Default.Gauge("serve_model_generation")
 )
 
 // Config tunes the server. Like the fleet engine's Config, nothing here
@@ -126,6 +127,14 @@ type pending struct {
 	now    float64
 	enq    int64 // obs.Now at enqueue
 	prepNS int64
+
+	// Trace state for a sampled decision (trace 0 = untraced). span is the
+	// server_request span id; parent is the client's root span id carried on
+	// the wire; res0 stamps the start of batch residency.
+	trace  uint64
+	span   uint64
+	parent uint64
+	res0   int64
 }
 
 // NewServer builds a server around a warmed plan.
@@ -159,6 +168,7 @@ func NewServer(cfg Config) (*Server, error) {
 		batcherDone: make(chan struct{}),
 		modelID:     1,
 	}
+	srvModelGen.Set(1)
 	go s.batcher()
 	return s, nil
 }
@@ -210,6 +220,7 @@ func (s *Server) Rotate() {
 	s.plan.Slot.Store(cur.Clone())
 	s.modelID++
 	srvRotationsTotal.Inc()
+	srvModelGen.Set(float64(s.modelID))
 	s.cfg.Logf("serve: rotated model (generation %d)", s.modelID)
 }
 
@@ -292,8 +303,8 @@ func (s *Server) handle(c net.Conn) {
 		fail(fmt.Sprintf("bad Hello: %v", err))
 		return
 	}
-	if h.Version != ProtoVersion {
-		fail(fmt.Sprintf("protocol version %d, server speaks %d", h.Version, ProtoVersion))
+	if h.Version < ProtoMinVersion || h.Version > ProtoVersion {
+		fail(fmt.Sprintf("protocol version %d, server speaks %d-%d", h.Version, ProtoMinVersion, ProtoVersion))
 		return
 	}
 	if h.PlanHash != s.plan.Hash {
@@ -343,13 +354,19 @@ func (s *Server) handle(c net.Conn) {
 		}
 		switch typ {
 		case msgDecide:
-			now, err := decodeDecide(payload, &sess.obs)
+			now, traceID, parentSpan, err := decodeDecide(payload, &sess.obs)
 			if err != nil {
 				fail(fmt.Sprintf("bad Decide: %v", err))
 				srvAbortedTotal.Inc()
 				return
 			}
 			p := &pending{sess: sess, now: now, enq: obs.Now()}
+			tr := obs.Tracing()
+			if tr != nil && traceID != 0 {
+				p.trace = traceID
+				p.span = tr.NewSpanID()
+				p.parent = parentSpan
+			}
 			select {
 			case s.queue <- p:
 			default:
@@ -360,11 +377,26 @@ func (s *Server) handle(c net.Conn) {
 			s.decisions.Add(1)
 			out = appendU32(appendI32(out[:0], q), sess.modelID)
 			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			var w0 int64
+			if p.trace != 0 {
+				w0 = obs.Now()
+			}
 			if err := writeFrame(bw, msgDecideOK, out); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {
 				return
+			}
+			if p.trace != 0 && tr != nil {
+				tr.Record(obs.Span{Trace: p.trace, ID: tr.NewSpanID(), Parent: p.span,
+					Name: "reply", Start: w0, Dur: obs.SinceNS(w0)})
+				tr.Record(obs.Span{Trace: p.trace, ID: p.span, Parent: p.parent,
+					Name: "server_request", Start: p.enq, Dur: obs.SinceNS(p.enq),
+					Attrs: []obs.Attr{
+						{Key: "session", Val: int64(sess.id)},
+						{Key: "chunk", Val: int64(sess.obs.ChunkIndex)},
+						{Key: "quality", Val: int64(q)},
+					}})
 			}
 		case msgBye:
 			s.completed.Add(1)
@@ -406,6 +438,8 @@ func (s *Server) batcher() {
 			break
 		}
 
+		tr := obs.Tracing()
+
 		// Stage phase: per-stream reset, PrepareChoose, enqueue rows.
 		for _, p := range batch {
 			sess := p.sess
@@ -429,10 +463,30 @@ func (s *Server) batcher() {
 				}
 			}
 			p.prepNS = obs.SinceNS(t0)
+			if tr != nil && p.trace != 0 {
+				tr.Record(obs.Span{Trace: p.trace, ID: tr.NewSpanID(), Parent: p.span,
+					Name: "queue_wait", Start: p.enq, Dur: t0 - p.enq})
+				tr.Record(obs.Span{Trace: p.trace, ID: tr.NewSpanID(), Parent: p.span,
+					Name: "prepare", Start: t0, Dur: p.prepNS})
+				p.res0 = t0 + p.prepNS
+			}
 		}
 
-		// One batched forward pass per distinct model.
+		// One batched forward pass per distinct model. The flush-trace
+		// context attributes the shared flush (and its kernel spans) to the
+		// batch's first traced decision.
+		if tr != nil {
+			for _, p := range batch {
+				if p.trace != 0 {
+					obs.SetFlushTrace(p.trace, p.span)
+					break
+				}
+			}
+		}
 		svc.Flush()
+		if tr != nil {
+			obs.ClearFlushTrace()
+		}
 		srvBatchSessions.Observe(int64(len(batch)))
 
 		// Finish phase: complete every decision and reply.
@@ -451,6 +505,13 @@ func (s *Server) batcher() {
 			if t1 != 0 {
 				srvDecisionNS.Observe(p.prepNS + obs.SinceNS(t1))
 				srvRequestNS.Observe(obs.SinceNS(p.enq))
+			}
+			if tr != nil && p.trace != 0 {
+				tr.Record(obs.Span{Trace: p.trace, ID: tr.NewSpanID(), Parent: p.span,
+					Name: "batch_residency", Start: p.res0, Dur: t1 - p.res0,
+					Attrs: []obs.Attr{{Key: "batch", Val: int64(len(batch))}}})
+				tr.Record(obs.Span{Trace: p.trace, ID: tr.NewSpanID(), Parent: p.span,
+					Name: "finish", Start: t1, Dur: obs.SinceNS(t1)})
 			}
 			sess.decisions++
 			srvDecisionsTotal.Inc()
