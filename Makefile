@@ -21,12 +21,12 @@ SCENARIO_SCALE ?= 0.02
 SWEEP_DIR ?= /tmp/puffer-sweep-smoke
 
 # Output file for the machine-readable benchmark run (cmd/benchjson).
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 # Benchtime for bench-json: 1x is smoke speed; raise (e.g. 5x, 1s) for
 # timings worth committing.
 BENCH_TIME ?= 1x
 
-.PHONY: fmt fmt-check vet build test bench bench-json bench-diff daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke trace-smoke ci
+.PHONY: fmt fmt-check vet build test bench bench-json bench-diff daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke trace-smoke dist-smoke ci
 
 fmt:
 	gofmt -w .
@@ -242,4 +242,27 @@ trace-smoke:
 	jq -e '[.traceEvents[] | select(.ph=="M" and .name=="process_name")] | length > 0' $$bin/trace.json >/dev/null; \
 	echo "trace-smoke: traced run byte-identical to untraced; Chrome trace well-formed ($$names)"
 
-ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke trace-smoke
+# Dist smoke: the coordinator/worker engine end to end on a real binary.
+# The same 2-day scenario runs single-process, then split across 4 worker
+# processes — with the coordinator killed between days (simulated by a
+# -days 1 run resumed to -days 2) AND a worker process killed mid-shard on
+# the resumed day via the fault hook. Stdout must be byte-identical, every
+# checkpoint file must match (manifests excepted: they record the spec,
+# which names the engine), and the metrics dump must show the worker
+# restart and shard reassignment actually happened.
+dist-smoke:
+	@set -e; \
+	bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin/puffer-daily ./cmd/puffer-daily; \
+	flags="-days 2 -sessions 48 -window 2 -epochs 1 -seed 7 -shard 8 -ablation=false"; \
+	$$bin/puffer-daily $$flags -checkpoint $$bin/single-ckpt -q > $$bin/single.out; \
+	$$bin/puffer-daily $$flags -days 1 -dist-workers 4 -checkpoint $$bin/dist-ckpt -q > /dev/null; \
+	PUFFER_DIST_FAULT=kill-worker:day1:shard2 $$bin/puffer-daily $$flags -dist-workers 4 \
+		-checkpoint $$bin/dist-ckpt -obs-dump $$bin/metrics.json -q > $$bin/dist.out; \
+	cmp $$bin/single.out $$bin/dist.out; \
+	diff -r --exclude=manifest.json $$bin/single-ckpt $$bin/dist-ckpt; \
+	jq -e '[.counters[] | select(.name=="dist_worker_restarts_total")] | first | .value >= 1' $$bin/metrics.json >/dev/null; \
+	jq -e '[.counters[] | select(.name=="dist_shard_retries_total")] | first | .value >= 1' $$bin/metrics.json >/dev/null; \
+	echo "dist-smoke: worker-process run byte-identical to single-process, through a coordinator restart and a killed worker"
+
+ci: fmt-check vet build test bench daily-smoke docs-smoke scenario-smoke sweep-smoke obs-smoke serve-smoke trace-smoke dist-smoke

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// distWorkerFlag is the hidden argv that re-enters this binary as a dist
+// worker: the coordinator launches `puffer-daily -dist-worker` processes
+// that speak the dist protocol on stdin/stdout. Dispatched in main before
+// flag parsing — it is a mode, not a flag.
+const distWorkerFlag = "-dist-worker"
+
+// distWorkerCommand is the argv the dist engine launches: this very
+// binary, re-entered in worker mode — the same self-re-exec pattern the
+// sweep executor uses, so coordinator and workers are always the same
+// build.
+func distWorkerCommand() ([]string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for dist workers: %w", err)
+	}
+	return []string{exe, distWorkerFlag}, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"puffer/internal/obscli"
 	"puffer/internal/scenario"
@@ -16,14 +17,15 @@ import (
 type cliConfig struct {
 	spec scenario.Spec
 
-	list       bool
-	jsonOut    bool
-	dump       bool
-	workers    int
-	checkpoint string
-	quiet      bool
-	obs        obscli.Options
-	obsEvents  string
+	list        bool
+	jsonOut     bool
+	dump        bool
+	workers     int
+	checkpoint  string
+	distTimeout time.Duration
+	quiet       bool
+	obs         obscli.Options
+	obsEvents   string
 }
 
 // parseCLI maps the command line onto a scenario spec. The base spec comes
@@ -45,7 +47,9 @@ func parseCLI(args []string) (*cliConfig, error) {
 	sessions := fs.Int("sessions", scenario.DefaultSessions, "override: randomized-trial size per day (sessions)")
 	window := fs.Int("window", scenario.DefaultWindow, "override: sliding retraining window (days; 0 = all days so far)")
 	fs.IntVar(&cli.workers, "workers", 0, "parallel shard workers (goroutines; 0 = GOMAXPROCS); never changes results")
-	engine := fs.String("engine", "session", "override: execution engine, session or fleet; results are byte-identical")
+	engine := fs.String("engine", "session", "override: execution engine — session, fleet, or dist; results are byte-identical")
+	distWorkers := fs.Int("dist-workers", 0, "override: dist engine worker-process count (0 = GOMAXPROCS; selects the dist engine); never changes results")
+	fs.DurationVar(&cli.distTimeout, "dist-timeout", 0, "dist engine per-shard hang deadline (duration; 0 = none); never changes results")
 	arrivalRate := fs.Float64("arrival-rate", scenario.DefaultRate, "override: fleet engine Poisson arrival intensity (sessions per virtual second; selects the poisson process)")
 	tick := fs.Float64("tick", scenario.DefaultTick, "override: fleet engine inference-batching tick (virtual seconds; never changes results)")
 	shard := fs.Int("shard", scenario.DefaultShard, "override: sessions per aggregation shard (sessions)")
@@ -94,6 +98,9 @@ func parseCLI(args []string) (*cliConfig, error) {
 			spec.Daily.Window = ptrOf(*window)
 		case "engine":
 			spec.Engine.Kind = *engine
+		case "dist-workers":
+			spec.Engine.Kind = "dist"
+			spec.Engine.DistWorkers = *distWorkers
 		case "arrival-rate":
 			spec.Engine.Arrival.Process = "poisson"
 			spec.Engine.Arrival.Rate = *arrivalRate

@@ -19,6 +19,7 @@
 //	puffer-daily -scenario fleet-burst -dump-scenario > burst.json
 //	puffer-daily -days 4 -drift shift                # flag-only, as always
 //	puffer-daily -engine fleet -arrival-rate 2       # concurrent serving
+//	puffer-daily -dist-workers 4                     # worker-process shards
 //
 // -dump-scenario prints the effective fully-defaulted spec as canonical
 // JSON: commit it, diff it, edit it, and re-run it byte-identically. The
@@ -45,6 +46,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("puffer-daily: ")
+	if len(os.Args) > 1 && os.Args[1] == distWorkerFlag {
+		if err := scenario.ServeDistWorker(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return
@@ -98,11 +105,19 @@ func run(args []string) error {
 		logf("drift schedule: %s", sched.Signature())
 	}
 
+	var distCmd []string
+	if spec.Engine.Kind == "dist" {
+		if distCmd, err = distWorkerCommand(); err != nil {
+			return err
+		}
+	}
 	out, err := scenario.Run(spec, scenario.RunOptions{
-		Workers:       cli.workers,
-		CheckpointDir: cli.checkpoint,
-		Logf:          logf,
-		Events:        events,
+		Workers:          cli.workers,
+		CheckpointDir:    cli.checkpoint,
+		DistCommand:      distCmd,
+		DistShardTimeout: cli.distTimeout,
+		Logf:             logf,
+		Events:           events,
 	})
 	if err != nil {
 		return err

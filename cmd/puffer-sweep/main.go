@@ -55,6 +55,10 @@ func main() {
 		// Hidden subprocess mode: the executor re-execs this binary once
 		// per cell.
 		err = cmdRunCell(os.Args[2:])
+	case distWorkerFlag:
+		// Hidden worker mode: a dist-engine cell's coordinator re-execs
+		// this binary once per worker process.
+		err = scenario.ServeDistWorker(os.Stdin, os.Stdout)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -131,7 +135,11 @@ func cmdRun(args []string) error {
 	}
 	defer stopObs()
 
-	runner := sweep.InProcess(*cellWorkers, logf)
+	runner := sweep.InProcess(scenario.RunOptions{
+		Workers:     *cellWorkers,
+		DistCommand: distWorkerCommand(),
+		Logf:        logf,
+	})
 	if !*inprocess {
 		runner = subprocessRunner(*cellWorkers, *quiet)
 	}

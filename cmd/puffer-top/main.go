@@ -250,6 +250,22 @@ func renderFrame(d *historyDoc, addr string, now time.Time) string {
 		row("counters", strings.TrimRight(inv, " "))
 	}
 
+	// Dist engine: live worker fleet, shard progress, and fault handling.
+	if live, ok := d.gaugeValue("dist_workers_live"); ok {
+		line := fmt.Sprintf("workers %.0f", live)
+		if done, ok := d.counterValue("dist_shards_done_total"); ok {
+			line += fmt.Sprintf("   shards %d", done)
+		}
+		if n, p50, p99, _, ok := d.histWindow("dist_shard_wall_ns"); ok {
+			line += fmt.Sprintf("   shard p50 %s  p99 %s  (%d in window)", ns(p50), ns(p99), n)
+		}
+		if restarts, ok := d.counterValue("dist_worker_restarts_total"); ok {
+			retries, _ := d.counterValue("dist_shard_retries_total")
+			line += fmt.Sprintf("   restarts %d  retries %d", restarts, retries)
+		}
+		row("dist", line)
+	}
+
 	// Model: served generation and rotation count.
 	if gen, ok := d.gaugeValue("serve_model_generation"); ok {
 		line := fmt.Sprintf("generation %.0f", gen)

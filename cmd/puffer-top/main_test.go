@@ -20,7 +20,22 @@ func syntheticDoc() *historyDoc {
 			Name     string    `json:"name"`
 			Values   []int64   `json:"values"`
 			RatePerS []float64 `json:"rate_per_s"`
-		}{Name: "serve_queue_full_total", Values: []int64{0, 0}, RatePerS: []float64{0}})
+		}{Name: "serve_queue_full_total", Values: []int64{0, 0}, RatePerS: []float64{0}},
+		struct {
+			Name     string    `json:"name"`
+			Values   []int64   `json:"values"`
+			RatePerS []float64 `json:"rate_per_s"`
+		}{Name: "dist_shards_done_total", Values: []int64{4, 12}, RatePerS: []float64{8}},
+		struct {
+			Name     string    `json:"name"`
+			Values   []int64   `json:"values"`
+			RatePerS []float64 `json:"rate_per_s"`
+		}{Name: "dist_worker_restarts_total", Values: []int64{0, 1}, RatePerS: []float64{1}},
+		struct {
+			Name     string    `json:"name"`
+			Values   []int64   `json:"values"`
+			RatePerS []float64 `json:"rate_per_s"`
+		}{Name: "dist_shard_retries_total", Values: []int64{0, 1}, RatePerS: []float64{1}})
 	d.Gauges = append(d.Gauges, struct {
 		Name   string    `json:"name"`
 		Values []float64 `json:"values"`
@@ -28,7 +43,11 @@ func syntheticDoc() *historyDoc {
 		struct {
 			Name   string    `json:"name"`
 			Values []float64 `json:"values"`
-		}{Name: "serve_model_generation", Values: []float64{1, 2}})
+		}{Name: "serve_model_generation", Values: []float64{1, 2}},
+		struct {
+			Name   string    `json:"name"`
+			Values []float64 `json:"values"`
+		}{Name: "dist_workers_live", Values: []float64{3, 3}})
 	d.Histograms = append(d.Histograms, struct {
 		Name      string  `json:"name"`
 		Counts    []int64 `json:"counts"`
@@ -54,6 +73,9 @@ func TestRenderFrame(t *testing.T) {
 		"p99 220µs",
 		"p999 1.2ms",
 		"queue_full 0",
+		"workers 3",
+		"shards 12",
+		"restarts 1  retries 1",
 		"generation 2",
 	} {
 		if !strings.Contains(frame, want) {

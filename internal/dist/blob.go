@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+)
+
+// BlobVersion is the shard blob envelope version. Bump it whenever the
+// accumulator wire shape changes incompatibly; a coordinator then rejects
+// blobs from stale worker builds instead of merging garbage.
+const BlobVersion = 1
+
+// shardBlob is the wire envelope for one shard's results: the analysis
+// accumulator and the telemetry dataset the shard's sessions produced.
+// Both gob-encode deterministically (TrialAcc via its name-sorted wire
+// form), so identical shard results are identical bytes on the wire.
+type shardBlob struct {
+	Version int
+	Acc     *experiment.TrialAcc
+	Data    *core.Dataset
+}
+
+// EncodeShard packs one shard's accumulator and dataset into a versioned
+// blob for the result frame.
+func EncodeShard(acc *experiment.TrialAcc, data *core.Dataset) ([]byte, error) {
+	if acc == nil || data == nil {
+		return nil, fmt.Errorf("dist: encoding shard blob: nil accumulator or dataset")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(shardBlob{Version: BlobVersion, Acc: acc, Data: data}); err != nil {
+		return nil, fmt.Errorf("dist: encoding shard blob: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeShard unpacks a shard blob, rejecting version mismatches and
+// undecodable (shape-mismatched) payloads loudly — a bad blob must abort
+// the run, never fold into a silently wrong answer.
+func DecodeShard(b []byte) (*experiment.TrialAcc, *core.Dataset, error) {
+	var blob shardBlob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&blob); err != nil {
+		return nil, nil, fmt.Errorf("dist: shard blob does not decode (coordinator/worker build mismatch?): %w", err)
+	}
+	if blob.Version != BlobVersion {
+		return nil, nil, fmt.Errorf("dist: shard blob version %d, want %d (coordinator/worker build mismatch)", blob.Version, BlobVersion)
+	}
+	if blob.Acc == nil || blob.Data == nil {
+		return nil, nil, fmt.Errorf("dist: shard blob missing accumulator or dataset")
+	}
+	return blob.Acc, blob.Data, nil
+}

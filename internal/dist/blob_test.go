@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"puffer/internal/core"
+	"puffer/internal/experiment"
+)
+
+// shardResult folds one shard of the given test trial and returns its
+// accumulator plus the dataset its sessions recorded.
+func shardResult(t *testing.T, sp testSpec, day, shard int) (*experiment.TrialAcc, *core.Dataset) {
+	t.Helper()
+	trial := testTrial(sp, day, nil)
+	col := experiment.NewDatasetCollector()
+	trial.Recorder = col
+	lo, hi := experiment.ShardRange(sp.Sessions, sp.ShardSize, shard)
+	acc := trial.FoldShard(lo, hi, experiment.AllPaths)
+	return acc, col.Dataset()
+}
+
+// TestShardBlobRoundTrip: a shard's accumulator and dataset survive the
+// encode/decode hop byte for byte.
+func TestShardBlobRoundTrip(t *testing.T) {
+	sp := testSpec{Sessions: 16, ShardSize: 8, BaseSeed: 11}
+	acc, data := shardResult(t, sp, 0, 0)
+	blob, err := EncodeShard(acc, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAcc, gotData, err := DecodeShard(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(accBytes(t, gotAcc), accBytes(t, acc)) {
+		t.Error("accumulator changed across the encode/decode hop")
+	}
+	if !bytes.Equal(dataBytes(t, gotData), dataBytes(t, data)) {
+		t.Error("dataset changed across the encode/decode hop")
+	}
+}
+
+// TestShardBlobDeterministic: the same shard result is the same bytes on
+// the wire, the property the coordinator's byte-identity contract rests on.
+func TestShardBlobDeterministic(t *testing.T) {
+	sp := testSpec{Sessions: 16, ShardSize: 8, BaseSeed: 11}
+	acc1, data1 := shardResult(t, sp, 0, 1)
+	acc2, data2 := shardResult(t, sp, 0, 1)
+	b1, err := EncodeShard(acc1, data1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeShard(acc2, data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("re-computing the same shard produced different wire bytes")
+	}
+}
+
+// TestWireMergeMatchesFoldShards: shipping each shard through the blob
+// encoding and merging the decoded accumulators in shard order equals the
+// single-process FoldShards canonical aggregate.
+func TestWireMergeMatchesFoldShards(t *testing.T) {
+	sp := testSpec{Sessions: 40, ShardSize: 8, BaseSeed: 13}
+	merged := experiment.NewTrialAcc(experiment.AllPaths)
+	var streams *core.Dataset
+	for s := 0; s < experiment.NumShards(sp.Sessions, sp.ShardSize); s++ {
+		acc, data := shardResult(t, sp, 0, s)
+		blob, err := EncodeShard(acc, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAcc, gotData, err := DecodeShard(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(gotAcc)
+		if streams == nil {
+			streams = gotData
+		} else {
+			streams.Streams = append(streams.Streams, gotData.Streams...)
+		}
+	}
+
+	trial := testTrial(sp, 0, nil)
+	col := experiment.NewDatasetCollector()
+	trial.Recorder = col
+	want := experiment.FoldShards(sp.Sessions, sp.ShardSize, experiment.AllPaths, func(id int) *experiment.SessionResult {
+		r := trial.RunOne(id)
+		return &r
+	})
+	if !bytes.Equal(accBytes(t, merged), accBytes(t, want)) {
+		t.Error("wire-merged accumulator differs from FoldShards")
+	}
+	if !bytes.Equal(dataBytes(t, streams), dataBytes(t, col.Dataset())) {
+		t.Error("wire-concatenated dataset differs from the global collector")
+	}
+}
+
+func TestEncodeShardRejectsNil(t *testing.T) {
+	sp := testSpec{Sessions: 8, ShardSize: 8, BaseSeed: 11}
+	acc, data := shardResult(t, sp, 0, 0)
+	if _, err := EncodeShard(nil, data); err == nil {
+		t.Error("EncodeShard(nil, data): no error")
+	}
+	if _, err := EncodeShard(acc, nil); err == nil {
+		t.Error("EncodeShard(acc, nil): no error")
+	}
+}
+
+// TestDecodeShardRejectsGarbage: a payload that is not a shard blob must
+// fail loudly, pointing at a build mismatch.
+func TestDecodeShardRejectsGarbage(t *testing.T) {
+	_, _, err := DecodeShard([]byte("not a gob stream at all"))
+	if err == nil || !strings.Contains(err.Error(), "build mismatch") {
+		t.Fatalf("DecodeShard(garbage) = %v, want build-mismatch error", err)
+	}
+}
+
+// TestDecodeShardRejectsVersion: a well-formed blob from a different
+// envelope version is rejected, not merged.
+func TestDecodeShardRejectsVersion(t *testing.T) {
+	sp := testSpec{Sessions: 8, ShardSize: 8, BaseSeed: 11}
+	acc, data := shardResult(t, sp, 0, 0)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(shardBlob{Version: BlobVersion + 1, Acc: acc, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := DecodeShard(buf.Bytes())
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("DecodeShard(version+1) = %v, want version error", err)
+	}
+}
+
+// TestDecodeShardRejectsMissingFields: a blob with the right version but a
+// nil accumulator or dataset is rejected.
+func TestDecodeShardRejectsMissingFields(t *testing.T) {
+	sp := testSpec{Sessions: 8, ShardSize: 8, BaseSeed: 11}
+	acc, data := shardResult(t, sp, 0, 0)
+	for _, c := range []struct {
+		name string
+		blob shardBlob
+	}{
+		{"nil-acc", shardBlob{Version: BlobVersion, Data: data}},
+		{"nil-data", shardBlob{Version: BlobVersion, Acc: acc}},
+	} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(c.blob); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := DecodeShard(buf.Bytes()); err == nil {
+			t.Errorf("%s: DecodeShard accepted a blob with a missing field", c.name)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EnvFault names the fault-injection env knob. Workers read it at startup;
+// the value selects one (day, shard) assignment to sabotage on its first
+// attempt, e.g.
+//
+//	PUFFER_DIST_FAULT=kill-worker:day1:shard2
+//	PUFFER_DIST_FAULT=hang-worker:day0:shard0
+//
+// kill-worker runs half the shard's sessions then exits the process
+// mid-shard; hang-worker blocks forever (tripping the coordinator's shard
+// deadline). Both fire only at attempt 0, so the reassigned shard
+// completes and tests can prove the final results are byte-identical to
+// an unfaulted run.
+const EnvFault = "PUFFER_DIST_FAULT"
+
+// Fault kinds.
+const (
+	FaultKill = "kill-worker"
+	FaultHang = "hang-worker"
+)
+
+// Fault is a parsed PUFFER_DIST_FAULT value. The zero value means no
+// fault.
+type Fault struct {
+	Kind  string
+	Day   int
+	Shard int
+}
+
+// ParseFault parses a PUFFER_DIST_FAULT value ("" means no fault).
+func ParseFault(s string) (Fault, error) {
+	if s == "" {
+		return Fault{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Fault{}, fmt.Errorf("dist: bad %s %q: want kind:dayN:shardM", EnvFault, s)
+	}
+	f := Fault{Kind: parts[0]}
+	if f.Kind != FaultKill && f.Kind != FaultHang {
+		return Fault{}, fmt.Errorf("dist: bad %s kind %q: want %s or %s", EnvFault, f.Kind, FaultKill, FaultHang)
+	}
+	var err error
+	if f.Day, err = faultIndex(parts[1], "day"); err != nil {
+		return Fault{}, fmt.Errorf("dist: bad %s %q: %w", EnvFault, s, err)
+	}
+	if f.Shard, err = faultIndex(parts[2], "shard"); err != nil {
+		return Fault{}, fmt.Errorf("dist: bad %s %q: %w", EnvFault, s, err)
+	}
+	return f, nil
+}
+
+// faultIndex parses one "dayN"/"shardM" component.
+func faultIndex(s, prefix string) (int, error) {
+	digits, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("component %q does not start with %q", s, prefix)
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("component %q: not a non-negative index", s)
+	}
+	return n, nil
+}
+
+// Matches reports whether this fault targets the given assignment kind and
+// coordinates. Assignment attempts past the first never match.
+func (f Fault) Matches(kind string, a assignMsg) bool {
+	return f.Kind == kind && f.Day == a.Day && f.Shard == a.Shard && a.Attempt == 0
+}

@@ -1,0 +1,15 @@
+package dist
+
+import "puffer/internal/obs"
+
+// Fleet-health metrics, registered on the default registry so puffer-top
+// and /metrics show them live. Write-only (never read into results), per
+// the obs zero-perturbation contract.
+var (
+	workersStarted = obs.Default.Counter("dist_workers_started_total")
+	workerRestarts = obs.Default.Counter("dist_worker_restarts_total")
+	shardRetries   = obs.Default.Counter("dist_shard_retries_total")
+	shardsDone     = obs.Default.Counter("dist_shards_done_total")
+	workersLive    = obs.Default.Gauge("dist_workers_live")
+	shardWallNS    = obs.Default.Histogram("dist_shard_wall_ns")
+)

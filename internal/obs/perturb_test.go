@@ -332,7 +332,7 @@ func TestZeroPerturbationSweepRelaunch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inproc := sweep.InProcess(0, nil)
+	inproc := sweep.InProcess(scenario.RunOptions{})
 
 	obsOn(t, false)
 	refIndex := filepath.Join(dir, "ref.jsonl")

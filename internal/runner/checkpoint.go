@@ -7,9 +7,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"puffer/internal/core"
 	"puffer/internal/experiment"
@@ -35,6 +38,26 @@ const (
 	telemetryFile = "telemetry.gob"
 	modelFile     = "ttp.model"
 )
+
+// gobWarmOnce backs gobTypeWarmup.
+var gobWarmOnce sync.Once
+
+// gobTypeWarmup pins encoding/gob's process-global type-id assignment for
+// every type the checkpoint files contain, in the order a plain
+// single-process run would first encode them. Gob allocates wire type ids
+// globally in first-use order and embeds those ids in every stream, so any
+// engine that speaks gob before the first checkpoint write (the dist
+// coordinator's worker protocol does) would otherwise shift the ids inside
+// acc.gob / telemetry.gob / ttp.model and break checkpoint byte-identity
+// across engines. Run calls this before anything else touches gob.
+func gobTypeWarmup() {
+	gobWarmOnce.Do(func() {
+		_ = gob.NewEncoder(io.Discard).Encode(experiment.NewTrialAcc(experiment.AllPaths))
+		_ = (&core.Dataset{}).Save(io.Discard)
+		rng := rand.New(rand.NewSource(0))
+		_ = core.NewTTP(rng, 1, nil, core.DefaultFeatures(), core.KindTransTime).Save(io.Discard)
+	})
+}
 
 // manifest guards a checkpoint directory against resuming under a
 // different experiment. The guard is one hash: for scenario-compiled runs

@@ -10,6 +10,7 @@ import (
 
 	"puffer/internal/abr"
 	"puffer/internal/core"
+	"puffer/internal/dist"
 	"puffer/internal/experiment"
 	"puffer/internal/fleet"
 	"puffer/internal/obs"
@@ -56,9 +57,22 @@ type Config struct {
 	// Engine selects each day's execution engine: "" or "session" runs
 	// the per-session sharded worker pool; "fleet" runs the virtual-time
 	// fleet engine (interleaved sessions, cross-session batched
-	// inference). Results are byte-identical across engines; only
-	// throughput and the serving-side telemetry differ.
+	// inference); "dist" runs each day's shards on a pool of worker
+	// processes (requires DistCommand and SpecJSON). Results are
+	// byte-identical across engines; only throughput and the
+	// serving-side telemetry differ.
 	Engine string
+	// DistWorkers is the "dist" engine's worker-process count. Default
+	// (0): GOMAXPROCS. Never changes results.
+	DistWorkers int
+	// DistCommand is the argv that launches one "dist" worker process
+	// speaking the dist protocol on stdin/stdout — typically the CLI's
+	// own binary in worker mode. Required when Engine is "dist".
+	DistCommand []string
+	// DistShardTimeout bounds one shard on one "dist" worker; past it
+	// the worker is presumed hung, killed, and the shard reassigned.
+	// Default (0): no deadline.
+	DistShardTimeout time.Duration
 	// ArrivalRate is the fleet engine's Poisson arrival intensity in
 	// sessions per virtual second. Default (0): 1. Ignored by the
 	// session engine; never changes results.
@@ -262,6 +276,7 @@ type dayData struct {
 type state struct {
 	cfg    Config
 	slot   ModelSlot
+	pool   *dist.Pool // worker-process pool; only set for Engine "dist"
 	window []dayData
 	pooled *experiment.TrialAcc
 	res    *Result
@@ -269,6 +284,7 @@ type state struct {
 
 // Run executes (or resumes) the continual experiment.
 func Run(cfg Config) (*Result, error) {
+	gobTypeWarmup()
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("runner: Days = %d, must be positive", cfg.Days)
 	}
@@ -291,15 +307,36 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	switch cfg.Engine {
-	case "", "session", "fleet":
+	case "", "session", "fleet", "dist":
 	default:
-		return nil, fmt.Errorf("runner: unknown Engine %q (want session or fleet)", cfg.Engine)
+		return nil, fmt.Errorf("runner: unknown Engine %q (want session, fleet, or dist)", cfg.Engine)
 	}
 
 	r := &state{
 		cfg:    cfg,
 		pooled: experiment.NewTrialAcc(experiment.AllPaths),
 		res:    &Result{},
+	}
+	if cfg.Engine == "dist" {
+		if len(cfg.DistCommand) == 0 {
+			return nil, fmt.Errorf("runner: Engine \"dist\" needs DistCommand (a worker argv)")
+		}
+		if len(cfg.SpecJSON) == 0 {
+			return nil, fmt.Errorf("runner: Engine \"dist\" needs SpecJSON (the canonical spec workers compile their trials from)")
+		}
+		pool, err := dist.NewPool(dist.PoolConfig{
+			Workers:      cfg.DistWorkers,
+			Command:      cfg.DistCommand,
+			Spec:         cfg.SpecJSON,
+			ShardTimeout: cfg.DistShardTimeout,
+			Logf:         cfg.Logf,
+			Events:       cfg.Events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer pool.Close()
+		r.pool = pool
 	}
 	start := 0
 	if cfg.CheckpointDir != "" {
@@ -359,27 +396,49 @@ func Run(cfg Config) (*Result, error) {
 	return r.res, nil
 }
 
-// liveDay simulates day `day` and runs its nightly phase.
-func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset, error) {
-	cfg := r.cfg
-	schemes := DeploySchemes(&r.slot, daySeed(cfg.Seed, day))
-	if r.slot.Load() == nil {
+// DayTrial builds day `day`'s randomized trial exactly as the daily loop
+// runs it: the day's scheme mixture (bootstrap until the slot holds a
+// model, deployment after) over the config's world, with the day-derived
+// seed. The Recorder is left nil for the engine to attach. Exported so
+// external execution engines — the wall-clock serving layer, the dist
+// worker — reproduce the coordinator's trial byte for byte.
+func (cfg *Config) DayTrial(day int, slot *ModelSlot) experiment.Config {
+	env := cfg.Env
+	if env.Paths == nil {
+		env = experiment.DefaultEnv()
+	}
+	schemes := DeploySchemes(slot, daySeed(cfg.Seed, day))
+	if slot.Load() == nil {
 		schemes = BootstrapSchemes(daySeed(cfg.Seed, day))
 	}
-	col := experiment.NewDatasetCollector()
-	trial := experiment.Config{
-		Env:      cfg.Env,
+	return experiment.Config{
+		Env:      env,
 		Schemes:  schemes,
 		Sessions: cfg.SessionsPerDay,
 		Seed:     daySeed(cfg.Seed, day),
 		Day:      day,
-		Recorder: col,
 	}
-	var acc *experiment.TrialAcc
-	var fst *fleet.Stats
-	var err error
+}
+
+// liveDay simulates day `day` and runs its nightly phase.
+func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset, error) {
+	cfg := r.cfg
+	var (
+		acc  *experiment.TrialAcc
+		data *core.Dataset
+		fst  *fleet.Stats
+		err  error
+	)
 	tTrial := obs.Now()
-	if cfg.Engine == "fleet" {
+	switch cfg.Engine {
+	case "dist":
+		// Workers build the same DayTrial from the broadcast (spec, day,
+		// model); the pool merges their shard blobs in shard order.
+		acc, data, err = r.pool.RunDay(day, r.slot.Load(), cfg.SessionsPerDay, cfg.ShardSize)
+	case "fleet":
+		col := experiment.NewDatasetCollector()
+		trial := cfg.DayTrial(day, &r.slot)
+		trial.Recorder = col
 		proc := cfg.Arrivals
 		if proc == nil {
 			rate := cfg.ArrivalRate
@@ -394,8 +453,17 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 			Tick:      cfg.FleetTick,
 			Arrivals:  proc,
 		})
-	} else {
+		if err == nil {
+			data = col.Dataset()
+		}
+	default:
+		col := experiment.NewDatasetCollector()
+		trial := cfg.DayTrial(day, &r.slot)
+		trial.Recorder = col
 		acc, err = runDaySharded(&trial, cfg.ShardSize, cfg.Workers)
+		if err == nil {
+			data = col.Dataset()
+		}
 	}
 	if err != nil {
 		return DayStats{}, nil, nil, err
@@ -405,7 +473,6 @@ func (r *state) liveDay(day int) (DayStats, *experiment.TrialAcc, *core.Dataset,
 			Name: "trial", Start: tTrial, Dur: obs.SinceNS(tTrial),
 			Attrs: []obs.Attr{{Key: "day", Val: int64(day)}}})
 	}
-	data := col.Dataset()
 	ds := DayStats{
 		Day:     day,
 		Chunks:  data.NumChunks(),

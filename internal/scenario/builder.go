@@ -87,8 +87,17 @@ func Mix(family string, startDay, rampDays int) Option {
 	}
 }
 
-// Engine selects the execution engine ("session" or "fleet").
+// Engine selects the execution engine ("session", "fleet", or "dist").
 func Engine(kind string) Option { return func(s *Spec) { s.Engine.Kind = kind } }
+
+// DistWorkers selects the dist engine with the given worker-process count
+// (0 = GOMAXPROCS).
+func DistWorkers(n int) Option {
+	return func(s *Spec) {
+		s.Engine.Kind = "dist"
+		s.Engine.DistWorkers = n
+	}
+}
 
 // ArrivalRate sets a Poisson arrival process at the given intensity
 // (sessions per virtual second).

@@ -154,6 +154,7 @@ func Compile(s Spec) (runner.Config, error) {
 		SessionsPerDay: d.Daily.Sessions,
 		WindowDays:     *d.Daily.Window,
 		Engine:         d.Engine.Kind,
+		DistWorkers:    d.Engine.DistWorkers,
 		ArrivalRate:    d.Engine.Arrival.Rate,
 		Arrivals:       d.arrivals(),
 		FleetTick:      d.Engine.Tick,

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"io"
+
+	"puffer/internal/core"
+	"puffer/internal/dist"
+	"puffer/internal/runner"
+)
+
+// DistTrialFactory compiles the canonical spec JSON a dist coordinator
+// broadcasts in its hello frame into the worker-side day-trial builder.
+// The spec bytes are exactly what the coordinator's checkpoint manifest
+// records, and the trial comes from the same runner.Config.DayTrial the
+// single-process engine uses — both sides derive every seed and scheme
+// mixture from identical inputs, which is the determinism argument.
+//
+// Workers never apply PUFFER_SCENARIO_SCALE: the coordinator scaled (or
+// didn't) before canonicalizing, and re-scaling here would silently run a
+// different experiment.
+func DistTrialFactory(specJSON []byte) (dist.DayFunc, error) {
+	s, err := Parse(specJSON)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(day int, model *core.TTP) (dist.DayTrial, error) {
+		slot := &runner.ModelSlot{}
+		if model != nil {
+			slot.Store(model)
+		}
+		return dist.DayTrial{Trial: cfg.DayTrial(day, slot), ShardSize: cfg.ShardSize}, nil
+	}, nil
+}
+
+// ServeDistWorker runs the worker side of the dist protocol on r/w
+// (stdin/stdout of a subprocess worker) until the coordinator shuts it
+// down. CLIs dispatch their hidden worker mode here.
+func ServeDistWorker(r io.Reader, w io.Writer) error {
+	return dist.Serve(r, w, DistTrialFactory)
+}

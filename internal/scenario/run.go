@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"path/filepath"
+	"time"
 
 	"puffer/internal/netem"
 	"puffer/internal/obs"
@@ -18,6 +19,13 @@ type RunOptions struct {
 	// retrained run and the frozen ablation companion checkpoint side by
 	// side in <dir>/retrain and <dir>/frozen-<companion guard hash>.
 	CheckpointDir string
+	// DistCommand is the worker argv the dist engine launches (usually
+	// the calling binary's own worker mode). Required when the spec
+	// selects engine.kind "dist"; ignored otherwise.
+	DistCommand []string
+	// DistShardTimeout is the dist engine's per-shard hang deadline
+	// (0 = none). Ignored by the other engines.
+	DistShardTimeout time.Duration
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Events, if set, receives the structured run-progress stream: the
@@ -62,6 +70,8 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 	cfg.Logf = opt.Logf
 	cfg.Events = opt.Events
 	cfg.CheckpointDir = checkpointFor(opt.CheckpointDir, cfg.Retrain)
+	cfg.DistCommand = opt.DistCommand
+	cfg.DistShardTimeout = opt.DistShardTimeout
 
 	opt.Events.Emit("scenario_start", map[string]any{
 		"name": d.Name, "hash": d.Hash(), "days": cfg.Days, "sessions": cfg.SessionsPerDay,
@@ -86,6 +96,8 @@ func Run(s Spec, opt RunOptions) (*Outcome, error) {
 		fcfg.Logf = opt.Logf
 		fcfg.Events = opt.Events
 		fcfg.CheckpointDir = frozenCheckpointDir(opt.CheckpointDir, frozen)
+		fcfg.DistCommand = opt.DistCommand
+		fcfg.DistShardTimeout = opt.DistShardTimeout
 		if out.Frozen, err = runner.Run(fcfg); err != nil {
 			return nil, err
 		}

@@ -132,16 +132,21 @@ type DriftSpec struct {
 }
 
 // EngineSpec selects and tunes the execution engine. No engine field
-// changes results — both engines are byte-identical at the same seeds —
-// so the whole struct is excluded from the checkpoint guard.
+// changes results — all engines are byte-identical at the same seeds —
+// so the whole struct is excluded from the checkpoint guard, and a
+// checkpoint written by one engine resumes under any other.
 type EngineSpec struct {
-	// Kind is "session" (default) or "fleet".
+	// Kind is "session" (default), "fleet", or "dist" (worker-process
+	// shard execution).
 	Kind string `json:"kind,omitempty"`
 	// Arrival is the fleet engine's session arrival process.
 	Arrival ArrivalSpec `json:"arrival,omitzero"`
 	// Tick is the fleet engine's inference-batching tick in virtual
 	// seconds. Default (0): 0.25.
 	Tick float64 `json:"tick,omitempty"`
+	// DistWorkers is the dist engine's worker-process count. Default
+	// (0): GOMAXPROCS. Ignored by the other engines.
+	DistWorkers int `json:"dist_workers,omitempty"`
 }
 
 // ArrivalSpec describes the fleet engine's arrival process.
@@ -340,8 +345,11 @@ func (s *Spec) Validate() error {
 	if err := s.Drift.validate(); err != nil {
 		return err
 	}
-	if !enum(s.Engine.Kind, "session", "fleet") {
-		return fmt.Errorf("scenario: engine.kind = %q, want session or fleet", s.Engine.Kind)
+	if !enum(s.Engine.Kind, "session", "fleet", "dist") {
+		return fmt.Errorf("scenario: engine.kind = %q, want session, fleet, or dist", s.Engine.Kind)
+	}
+	if s.Engine.DistWorkers < 0 {
+		return fmt.Errorf("scenario: engine.dist_workers = %d, must be >= 0 (0 = GOMAXPROCS)", s.Engine.DistWorkers)
 	}
 	switch s.Engine.Arrival.Process {
 	case "poisson":

@@ -116,6 +116,7 @@ func TestValidateRejectsOutOfRange(t *testing.T) {
 		{func(s *Spec) { s.Engine.Arrival.Rate = -1 }, "engine.arrival.rate"},
 		{func(s *Spec) { s.Engine.Kind = "fleet"; s.Engine.Arrival.Process = "burst" }, "engine.arrival.burst"},
 		{func(s *Spec) { s.Engine.Tick = -0.25 }, "engine.tick"},
+		{func(s *Spec) { s.Engine.DistWorkers = -2 }, "engine.dist_workers"},
 		{func(s *Spec) { s.ShardSize = -64 }, "shard_size"},
 	}
 	for _, c := range cases {
@@ -292,6 +293,20 @@ func TestGuardHashScope(t *testing.T) {
 		if i == 3 && s.Hash() != base.Hash() {
 			t.Fatal("Name/Notes must not move the full content hash")
 		}
+	}
+
+	// The dist engine block is scheduling, not science: selecting it (at
+	// any worker count) moves the full content hash but never the guard, so
+	// a session-engine checkpoint resumes under dist and vice versa.
+	dist := New(Days(4), Drift("shift"), DistWorkers(4))
+	if dist.GuardHash() != guard {
+		t.Fatal("dist engine selection moved the guard hash")
+	}
+	if dist.Hash() == base.Hash() {
+		t.Fatal("dist engine selection should still move the full content hash")
+	}
+	if other := New(Days(4), Drift("shift"), DistWorkers(16)); other.GuardHash() != guard {
+		t.Fatal("dist worker count moved the guard hash")
 	}
 
 	different := []Spec{

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// These tests pin the cross-process transport contract the dist engine
+// leans on: the accumulators gob-encode deterministically, survive the
+// round trip exactly, and merging decoded halves in order reproduces the
+// locally built whole — so shipping accumulator blobs between processes
+// can never perturb a result.
+
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamAccGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var a StreamAcc
+	for _, p := range randPoints(rng, 200) {
+		a.Add(p)
+	}
+	b := gobBytes(t, &a)
+	if !bytes.Equal(b, gobBytes(t, &a)) {
+		t.Fatal("StreamAcc gob encoding is not deterministic")
+	}
+	var got StreamAcc
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Points, a.Points) {
+		t.Fatal("StreamAcc changed across the gob round trip")
+	}
+}
+
+func TestWeightedAccGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var a WeightedAcc
+	for i := 0; i < 200; i++ {
+		a.Add(rng.NormFloat64(), 1+rng.ExpFloat64())
+	}
+	b := gobBytes(t, &a)
+	if !bytes.Equal(b, gobBytes(t, &a)) {
+		t.Fatal("WeightedAcc gob encoding is not deterministic")
+	}
+	var got WeightedAcc
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, a.Values) || !reflect.DeepEqual(got.Weights, a.Weights) {
+		t.Fatal("WeightedAcc changed across the gob round trip")
+	}
+}
+
+// TestStreamAccWireMergeOrder: two shards built locally, shipped through
+// gob, and merged in shard order equal the accumulator built in one
+// process — and the merged encoding is itself the canonical bytes.
+func TestStreamAccWireMergeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randPoints(rng, 300)
+
+	var whole StreamAcc
+	for _, p := range pts {
+		whole.Add(p)
+	}
+
+	var s0, s1 StreamAcc
+	for _, p := range pts[:140] {
+		s0.Add(p)
+	}
+	for _, p := range pts[140:] {
+		s1.Add(p)
+	}
+	var d0, d1 StreamAcc
+	if err := gob.NewDecoder(bytes.NewReader(gobBytes(t, &s0))).Decode(&d0); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(gobBytes(t, &s1))).Decode(&d1); err != nil {
+		t.Fatal(err)
+	}
+	var merged StreamAcc
+	merged.Merge(&d0)
+	merged.Merge(&d1)
+
+	if !bytes.Equal(gobBytes(t, &merged), gobBytes(t, &whole)) {
+		t.Fatal("wire-merged StreamAcc is not byte-identical to the locally built whole")
+	}
+	rngA, rngB := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	if merged.Bootstrap(rngA, 200, 0.95) != whole.Bootstrap(rngB, 200, 0.95) {
+		t.Fatal("wire-merged bootstrap differs from the locally built whole")
+	}
+}

@@ -304,16 +304,15 @@ func setState(rep *Report, cellIndex int, state string) {
 }
 
 // InProcess returns a CellRunner that runs cells inside this process via
-// scenario.Run — the runner figures and tests use. workersPerCell bounds
-// each cell's shard parallelism (0 = GOMAXPROCS).
-func InProcess(workersPerCell int, logf func(format string, args ...any)) CellRunner {
+// scenario.Run — the runner figures and tests use. opt is the scheduling
+// template every cell runs with (Workers, Logf, DistCommand, ...); the
+// executor overrides CheckpointDir per cell.
+func InProcess(opt scenario.RunOptions) CellRunner {
 	return func(c Cell, checkpointDir string) (*results.Record, error) {
+		o := opt
+		o.CheckpointDir = checkpointDir
 		started := time.Now()
-		out, err := scenario.Run(c.Spec, scenario.RunOptions{
-			Workers:       workersPerCell,
-			CheckpointDir: checkpointDir,
-			Logf:          logf,
-		})
+		out, err := scenario.Run(c.Spec, o)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: cell %s: %w", c.Name, err)
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"puffer/internal/results"
+	"puffer/internal/scenario"
 )
 
 // TestExecuteRunsMissingCellsOnly is the executor's whole contract in one
@@ -24,7 +25,7 @@ func TestExecuteRunsMissingCellsOnly(t *testing.T) {
 	}
 	dir := t.TempDir()
 	sw := mustParse(t, tinySweep)
-	inproc := InProcess(0, nil)
+	inproc := InProcess(scenario.RunOptions{})
 
 	// Uninterrupted reference run.
 	refIndex := filepath.Join(dir, "ref.jsonl")
@@ -166,7 +167,7 @@ func TestExecuteSerializesSameGuardCells(t *testing.T) {
 				break
 			}
 		}
-		return InProcess(0, nil)(c, checkpointDir)
+		return InProcess(scenario.RunOptions{})(c, checkpointDir)
 	}
 	rep, err := Execute(sw, ExecConfig{
 		Workers:        4,

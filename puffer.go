@@ -419,7 +419,7 @@ func ParseSweepFile(path string) (SweepSpec, error) { return sweep.ParseFile(pat
 // runner.
 func RunSweep(sw SweepSpec, ec SweepExecConfig) (*SweepReport, error) {
 	if ec.Run == nil {
-		ec.Run = sweep.InProcess(0, ec.Logf)
+		ec.Run = sweep.InProcess(scenario.RunOptions{Logf: ec.Logf})
 	}
 	return sweep.Execute(sw, ec)
 }
